@@ -1,0 +1,43 @@
+"""§5.2: area of the Dependence Chain Engine.
+
+Paper: DCE = 0.38mm² at 22nm, ~2.2% of a 16.96mm² out-of-order core
+(0.09 chain cache / 0.15 execution / 0.14 extraction+HBT); Core-Only
+= 1.4%; 64KB TAGE-SC-L = 0.73mm² for reference.
+"""
+
+import pytest
+from conftest import print_header, run_once
+
+from repro.core.config import core_only, mini
+from repro.power.area import (
+    BASELINE_CORE_MM2,
+    TAGE_SCL_64KB_MM2,
+    AreaReport,
+)
+
+
+def test_sec52_dce_area(benchmark):
+    def experiment():
+        return {config.name: AreaReport(config)
+                for config in (core_only(), mini())}
+
+    reports = run_once(benchmark, experiment)
+    print_header("Section 5.2: DCE area at 22nm")
+    print(f"baseline core: {BASELINE_CORE_MM2:.2f} mm2, "
+          f"64KB TAGE-SC-L: {TAGE_SCL_64KB_MM2:.2f} mm2\n")
+    for name, report in reports.items():
+        print(f"{name}:")
+        for structure, area in report.rows():
+            print(f"  {structure:24s} {area:6.3f} mm2")
+        print(f"  {'fraction of core':24s} "
+              f"{100 * report.fraction_of_core:6.2f} %\n")
+
+    mini_report = reports["mini"]
+    assert mini_report.total_mm2 == pytest.approx(0.38, abs=0.03)
+    assert mini_report.fraction_of_core == pytest.approx(0.022, abs=0.004)
+    assert reports["core-only"].fraction_of_core == \
+        pytest.approx(0.014, abs=0.003)
+    # component split roughly matches the paper's 0.09 / 0.15 / 0.14
+    parts = dict(mini_report.rows())
+    assert parts["chain cache"] == pytest.approx(0.09, abs=0.02)
+    assert parts["FUs + RSV + PRF"] == pytest.approx(0.15, abs=0.03)

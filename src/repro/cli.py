@@ -1,0 +1,175 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+* ``list`` — the benchmark suite.
+* ``run BENCH`` — simulate one benchmark under a configuration.
+* ``compare BENCH [BENCH...]`` — baseline vs Branch Runahead table.
+* ``chains BENCH`` — show the dependence chains extracted for a benchmark.
+* ``simpoints BENCH`` — SimPoint-style region selection for a benchmark.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core import config as br_config
+from repro.predictors.mtage import mtage_sc
+from repro.predictors.tage_scl import tage_scl_64kb, tage_scl_80kb
+from repro.sim.sampling import select_simpoints
+from repro.sim.simulator import simulate
+from repro.workloads import suite
+
+CONFIGS = {
+    "none": None,
+    "core-only": br_config.core_only,
+    "mini": br_config.mini,
+    "big": br_config.big,
+}
+
+PREDICTORS = {
+    "tage64": tage_scl_64kb,
+    "tage80": tage_scl_80kb,
+    "mtage": mtage_sc,
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Branch Runahead (MICRO 2021) reproduction")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the benchmark suite")
+
+    def add_run_args(p):
+        p.add_argument("benchmark", choices=sorted(
+            suite.BENCHMARK_NAMES + ["stress_many"]))
+        p.add_argument("--instructions", type=int, default=12_000)
+        p.add_argument("--warmup", type=int, default=6_000)
+
+    run = sub.add_parser("run", help="simulate one benchmark")
+    add_run_args(run)
+    run.add_argument("--config", choices=sorted(CONFIGS), default="mini")
+    run.add_argument("--predictor", choices=sorted(PREDICTORS),
+                     default="tage64")
+
+    compare = sub.add_parser(
+        "compare", help="baseline vs Branch Runahead table")
+    compare.add_argument("benchmarks", nargs="*",
+                         default=None, metavar="BENCH")
+    compare.add_argument("--config", choices=["core-only", "mini", "big"],
+                         default="mini")
+    compare.add_argument("--instructions", type=int, default=12_000)
+    compare.add_argument("--warmup", type=int, default=6_000)
+
+    chains = sub.add_parser(
+        "chains", help="show the dependence chains a benchmark produces")
+    add_run_args(chains)
+
+    simpoints = sub.add_parser(
+        "simpoints", help="SimPoint-style region selection")
+    simpoints.add_argument("benchmark", choices=sorted(
+        suite.BENCHMARK_NAMES + ["stress_many"]))
+    simpoints.add_argument("--total", type=int, default=60_000)
+    simpoints.add_argument("--interval", type=int, default=10_000)
+
+    return parser
+
+
+def _cmd_list(args) -> int:
+    print(f"{'name':14s} {'suite':8s} {'static uops':>12s}")
+    for benchmark in suite.BENCHMARKS:
+        program = suite.load(benchmark.name)
+        print(f"{benchmark.name:14s} {benchmark.suite:8s} "
+              f"{len(program):>12d}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    program = suite.load(args.benchmark)
+    config_factory = CONFIGS[args.config]
+    result = simulate(
+        program, instructions=args.instructions, warmup=args.warmup,
+        predictor=PREDICTORS[args.predictor](),
+        br_config=config_factory() if config_factory else None)
+    print(result.summary())
+    if result.runahead is not None:
+        breakdown = result.runahead.stats.breakdown()
+        parts = ", ".join(f"{key} {100 * value:.1f}%"
+                          for key, value in breakdown.items())
+        print(f"prediction breakdown: {parts}")
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    names = args.benchmarks or suite.BENCHMARK_NAMES
+    config_factory = CONFIGS[args.config]
+    print(f"{'benchmark':14s} {'base MPKI':>10s} {'BR MPKI':>10s} "
+          f"{'ΔMPKI':>8s} {'base IPC':>9s} {'BR IPC':>9s} {'ΔIPC':>8s}")
+    for name in names:
+        program = suite.load(name)
+        base = simulate(program, instructions=args.instructions,
+                        warmup=args.warmup)
+        variant = simulate(program, instructions=args.instructions,
+                           warmup=args.warmup, br_config=config_factory())
+        mpki_delta = 100 * (base.mpki - variant.mpki) / base.mpki \
+            if base.mpki else 0.0
+        ipc_delta = 100 * (variant.ipc - base.ipc) / base.ipc
+        print(f"{name:14s} {base.mpki:>10.2f} {variant.mpki:>10.2f} "
+              f"{mpki_delta:>+7.1f}% {base.ipc:>9.3f} {variant.ipc:>9.3f} "
+              f"{ipc_delta:>+7.1f}%")
+    return 0
+
+
+def _cmd_chains(args) -> int:
+    program = suite.load(args.benchmark)
+    result = simulate(program, instructions=args.instructions,
+                      warmup=args.warmup,
+                      br_config=br_config.mini())
+    chains = result.runahead.chain_cache.chains()
+    if not chains:
+        print("no chains were extracted (no hard branches detected)")
+        return 1
+    for chain in chains:
+        print(f"\n{chain}  live-ins={chain.live_ins} "
+              f"live-outs={chain.live_outs}")
+        for op, timed in zip(chain.exec_uops, chain.timed_flags):
+            marker = " " if timed else "x"
+            print(f"  {marker} {op!r}")
+    return 0
+
+
+def _cmd_simpoints(args) -> int:
+    program = suite.load(args.benchmark)
+    simpoints = select_simpoints(program, total_instructions=args.total,
+                                 interval_length=args.interval)
+    print(f"{len(simpoints)} representative region(s):")
+    for point in simpoints:
+        print(f"  start={point.start_instruction:>8d}  "
+              f"weight={point.weight:.3f}  cluster={point.cluster}")
+    return 0
+
+
+COMMANDS = {
+    "list": _cmd_list,
+    "run": _cmd_run,
+    "compare": _cmd_compare,
+    "chains": _cmd_chains,
+    "simpoints": _cmd_simpoints,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    try:
+        return COMMANDS[args.command](args)
+    except BrokenPipeError:
+        # output piped into e.g. `head`; not an error
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

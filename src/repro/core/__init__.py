@@ -1,0 +1,73 @@
+"""Branch Runahead: the paper's contribution.
+
+Public surface:
+
+* :class:`BranchRunahead` — the complete system, attachable to a
+  :class:`~repro.uarch.core.CoreModel` via its runahead hooks.
+* :func:`core_only` / :func:`mini` / :func:`big` — the Table 2 presets.
+* Component classes (HBT, CEB, chain cache, DCE, prediction queues, merge
+  point predictor, poison pass) for direct study and unit experimentation.
+"""
+
+from repro.core.ceb import ChainExtractionBuffer
+from repro.core.chain import (
+    TERMINATED_AFFECTOR_GUARD,
+    TERMINATED_SELF,
+    WILDCARD,
+    DependenceChain,
+)
+from repro.core.chain_cache import ChainCache
+from repro.core.config import (
+    INDEPENDENT_EARLY,
+    INITIATION_MODES,
+    NON_SPECULATIVE,
+    PREDICTIVE,
+    BranchRunaheadConfig,
+    big,
+    core_only,
+    mini,
+)
+from repro.core.dce import DependenceChainEngine
+from repro.core.hbt import HardBranchTable
+from repro.core.local_rename import local_rename
+from repro.core.merge_point import (
+    MergePointPredictor,
+    OracleMergeTracker,
+    WrongPathBuffer,
+    static_merge_prediction,
+)
+from repro.core.poison import PoisonPass
+from repro.core.prediction_queue import (
+    PredictionQueue,
+    PredictionQueueFile,
+)
+from repro.core.runahead import BranchRunahead, RunaheadStats
+
+__all__ = [
+    "ChainExtractionBuffer",
+    "TERMINATED_AFFECTOR_GUARD",
+    "TERMINATED_SELF",
+    "WILDCARD",
+    "DependenceChain",
+    "ChainCache",
+    "INDEPENDENT_EARLY",
+    "INITIATION_MODES",
+    "NON_SPECULATIVE",
+    "PREDICTIVE",
+    "BranchRunaheadConfig",
+    "big",
+    "core_only",
+    "mini",
+    "DependenceChainEngine",
+    "HardBranchTable",
+    "local_rename",
+    "MergePointPredictor",
+    "OracleMergeTracker",
+    "WrongPathBuffer",
+    "static_merge_prediction",
+    "PoisonPass",
+    "PredictionQueue",
+    "PredictionQueueFile",
+    "BranchRunahead",
+    "RunaheadStats",
+]

@@ -1,0 +1,103 @@
+"""Dependence Chain Cache (§4.2): LRU-managed store of installed chains.
+
+Chains are identified by ``(branch_pc, tag)`` and looked up by trigger
+events: a resolving branch ``<pc, outcome>`` initiates every cached chain
+whose tag is ``<pc, outcome>`` or ``<pc, *>``.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import List
+
+from repro.core.chain import WILDCARD, DependenceChain
+
+
+class ChainCache:
+    """LRU cache of dependence chains (32 entries in Mini, 1024 in Big)."""
+
+    def __init__(self, capacity: int = 32):
+        if capacity < 1:
+            raise ValueError("chain cache needs at least one entry")
+        self.capacity = capacity
+        self._chains: OrderedDict = OrderedDict()  # key -> chain
+        self.installs = 0
+        self.evictions = 0
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._chains)
+
+    def install(self, chain: DependenceChain) -> None:
+        """Install (or refresh) a chain, evicting LRU if needed."""
+        key = chain.key()
+        if key in self._chains:
+            del self._chains[key]
+        elif len(self._chains) >= self.capacity:
+            self._chains.popitem(last=False)
+            self.evictions += 1
+        self._chains[key] = chain
+        self.installs += 1
+
+    def remove_for_branch(self, branch_pc: int) -> int:
+        """Drop every chain predicting ``branch_pc`` (re-extraction path)."""
+        victims = [key for key in self._chains if key[0] == branch_pc]
+        for key in victims:
+            del self._chains[key]
+        return len(victims)
+
+    def matching(self, trigger_pc: int, outcome: bool
+                 ) -> List[DependenceChain]:
+        """Chains initiated by the trigger ``<trigger_pc, outcome>``.
+
+        Matches exact-outcome tags and wildcard tags; touching a chain
+        refreshes its LRU position.
+        """
+        outcome_bit = 1 if outcome else 0
+        matched = []
+        for key in list(self._chains):
+            _, (tag_pc, tag_outcome) = key
+            if tag_pc == trigger_pc and tag_outcome in (outcome_bit, WILDCARD):
+                chain = self._chains.pop(key)
+                self._chains[key] = chain  # LRU refresh
+                matched.append(chain)
+        if matched:
+            self.hits += 1
+        else:
+            self.misses += 1
+        return matched
+
+    def wildcard_chains_for(self, trigger_pc: int) -> List[DependenceChain]:
+        """Only the wildcard-tagged chains of a trigger (independent-early)."""
+        return [chain for (branch_pc, (tag_pc, tag_outcome)), chain
+                in self._chains.items()
+                if tag_pc == trigger_pc and tag_outcome == WILDCARD]
+
+    def chains(self) -> List[DependenceChain]:
+        return list(self._chains.values())
+
+    def covered_branches(self) -> set:
+        """PCs of branches with at least one installed chain."""
+        return {key[0] for key in self._chains}
+
+    def reachable_from(self, trigger_pc: int) -> set:
+        """Branch PCs whose chains are (transitively) initiated by a
+        resolution of ``trigger_pc`` — the lineage cluster rooted there.
+
+        Used by synchronization: resyncing a branch restarts exactly the
+        chains that its outcome feeds, leaving unrelated lineages (and their
+        queued predictions) untouched.
+        """
+        edges = {}
+        for branch_pc, (tag_pc, _) in self._chains:
+            edges.setdefault(tag_pc, set()).add(branch_pc)
+        reached = set()
+        frontier = [trigger_pc]
+        while frontier:
+            node = frontier.pop()
+            for successor in edges.get(node, ()):
+                if successor not in reached:
+                    reached.add(successor)
+                    frontier.append(successor)
+        return reached

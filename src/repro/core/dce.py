@@ -1,0 +1,328 @@
+"""The Dependence Chain Engine (§4.2, Figure 7).
+
+Executes dependence-chain instances continuously and asynchronously from the
+core.  Each dynamic instance is bound by *global rename* to a (local register
+file, local reservation station) pair — a **window slot** — and its uops are
+scheduled out-of-order against the DCE's 2 ALUs and whatever D-cache ports
+the core leaves idle.  Completed instances push their branch outcome into
+the prediction queues and trigger successor chains per the configured
+initiation mode (§4.1):
+
+* **Non-speculative** — successors wait for the producing chain to finish.
+* **Independent-early** — wildcard-tagged successors start as soon as the
+  producer *initiates* (its outcome cannot matter).
+* **Predictive** — a per-branch 3-bit counter predicts the producer's
+  outcome so exact-tag successors can also start early; wrong guesses are
+  flushed (energy) and reissued at producer completion (no later than
+  non-speculative).
+
+Functionally, instances execute in initiation order against the DCE's
+architectural state (the paper's chain-to-chain local-RF forwarding), with
+live-in values refreshed from the core's retired register file at every
+synchronization.  Loads read the shared data memory through the shared
+hierarchy; stores never escape the engine (they are move-eliminated at
+extraction, and executed only as value forwards here).
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import defaultdict, deque
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.chain import DependenceChain
+from repro.core.chain_cache import ChainCache
+from repro.core.config import (
+    INDEPENDENT_EARLY,
+    NON_SPECULATIVE,
+    BranchRunaheadConfig,
+)
+from repro.core.prediction_queue import PredictionQueueFile
+from repro.emulator.machine import execute_uop
+from repro.emulator.memory import Memory
+from repro.isa.registers import NUM_ARCH_REGS
+from repro.memsys.hierarchy import MemoryHierarchy
+from repro.memsys.port import PortTracker
+from repro.predictors.initiation_predictor import InitiationPredictor
+from repro.uarch.resources import FuTracker
+
+#: Safety bound on cascade length per trigger (far above any real cascade,
+#: which is limited by prediction-queue capacity).
+MAX_CASCADE_STEPS = 100_000
+
+
+class DceStats:
+    """Activity counters for the engine."""
+
+    def __init__(self):
+        self.uops_executed = 0
+        self.loads_executed = 0
+        self.instances_executed = 0
+        self.instance_uops_total = 0  # post-elimination uops, for Figure 2
+        self.flushed_uops = 0
+        self.syncs = 0
+        self.parked_events = 0
+        self.suppressed_instances = 0
+        self.window_stalls = 0
+        self.uncovered_initiations = 0
+
+    def dynamic_average_chain_length(self) -> float:
+        if not self.instances_executed:
+            return 0.0
+        return self.instance_uops_total / self.instances_executed
+
+
+class _LineageState:
+    """Architectural values + per-register ready cycles of one chain lineage.
+
+    Models the paper's per-chain local register files: a dynamic chain
+    instance reads its live-ins from its *producer's* local RF (here: the
+    state object handed along the trigger edge) and its outputs are visible
+    only to its own successors.
+    """
+
+    __slots__ = ("regs", "ready")
+
+    def __init__(self, regs: List[int], ready: List[int]):
+        self.regs = regs
+        self.ready = ready
+
+    def snapshot(self) -> "_LineageState":
+        return _LineageState(list(self.regs), list(self.ready))
+
+
+class DependenceChainEngine:
+    """Executes chains; owns the DCE-side architectural state."""
+
+    def __init__(self,
+                 config: BranchRunaheadConfig,
+                 chain_cache: ChainCache,
+                 queues: PredictionQueueFile,
+                 hierarchy: MemoryHierarchy,
+                 memory: Memory,
+                 ports: PortTracker,
+                 shared_alus: Optional[FuTracker] = None):
+        self.config = config
+        self.chain_cache = chain_cache
+        self.queues = queues
+        self.hierarchy = hierarchy
+        self.memory = memory
+        self.ports = ports
+        if config.share_core_alus and shared_alus is not None:
+            self.alus = shared_alus  # Core-Only: contend with the core
+        else:
+            self.alus = FuTracker(config.dce_alus)
+        self.init_predictor = InitiationPredictor()
+        self.stats = DceStats()
+        # architectural state captured at the last synchronization; every
+        # trigger roots a new *lineage* from it
+        self._sync_regs: List[int] = [0] * NUM_ARCH_REGS
+        self._sync_ready = 0
+        # window occupancy: finish cycles of in-flight instances
+        self._active_finishes: List[int] = []
+        # instances that could not allocate a prediction-queue slot
+        self._parked: Dict[int, deque] = defaultdict(deque)
+
+    # -- synchronization ----------------------------------------------------
+
+    def sync(self, core_regs: List[int], cycle: int) -> None:
+        """Copy live-ins from the core's retired register file (§4.1)."""
+        self._sync_regs = list(core_regs)
+        self._sync_ready = cycle + self.config.sync_latency
+        self.stats.syncs += 1
+
+    def clear_parked(self, branch_pc: int) -> None:
+        """Drop parked continuations of a resynchronized lineage."""
+        self._parked.pop(branch_pc, None)
+
+    def _root_lineage(self) -> "_LineageState":
+        return _LineageState(list(self._sync_regs),
+                             [self._sync_ready] * NUM_ARCH_REGS)
+
+    # -- triggering ------------------------------------------------------------
+
+    def trigger(self, trigger_pc: int, outcome: bool, cycle: int) -> int:
+        """Initiate every chain matching ``<trigger_pc, outcome>`` and run the
+        resulting cascade.  Returns the number of instances executed.
+
+        Each matched chain starts its own lineage from the synchronized
+        state — the model of per-chain local register files: values flow
+        from producer to consumer chain along trigger edges only, never
+        across unrelated lineages.
+        """
+        chains = self.chain_cache.matching(trigger_pc, outcome)
+        worklist = deque((chain, cycle, self._root_lineage())
+                         for chain in chains)
+        return self._run_cascade(worklist)
+
+    def initiate_chain(self, chain: DependenceChain, cycle: int) -> int:
+        """Directly initiate one chain (used by re-extraction paths)."""
+        return self._run_cascade(deque([(chain, cycle,
+                                         self._root_lineage())]))
+
+    def on_queue_slot_freed(self, branch_pc: int, cycle: int) -> None:
+        """A prediction for ``branch_pc`` retired; resume parked work."""
+        parked = self._parked.get(branch_pc)
+        if not parked:
+            return
+        chain, bound, state = parked.popleft()
+        self._run_cascade(deque([(chain, max(bound, cycle), state)]))
+
+    # -- cascade ------------------------------------------------------------------
+
+    def _run_cascade(self, worklist: deque) -> int:
+        executed = 0
+        steps = 0
+        while worklist and steps < MAX_CASCADE_STEPS:
+            steps += 1
+            chain, lower_bound, state = worklist.popleft()
+            result = self._run_instance(chain, lower_bound, state)
+            if result is None:
+                continue
+            executed += 1
+            init_cycle, outcome, finish = result
+            self._enqueue_successors(worklist, chain, init_cycle, outcome,
+                                     finish, state)
+        return executed
+
+    def _enqueue_successors(self, worklist: deque, chain: DependenceChain,
+                            init_cycle: int, outcome: bool, finish: int,
+                            state: "_LineageState") -> None:
+        mode = self.config.initiation_mode
+        successors = self.chain_cache.matching(chain.branch_pc, outcome)
+        if not successors:
+            return
+        if mode == NON_SPECULATIVE:
+            starts = [finish] * len(successors)
+        elif mode == INDEPENDENT_EARLY:
+            starts = [init_cycle + 1 if successor.is_wildcard else finish
+                      for successor in successors]
+        else:  # PREDICTIVE
+            predicted = self.init_predictor.predict(chain.branch_pc)
+            self.init_predictor.update(chain.branch_pc, outcome)
+            if predicted != outcome:
+                # the wrong-direction exact-tag chains were issued, then
+                # flushed when the producing chain resolved (energy cost)
+                wrong_bit = 1 if predicted else 0
+                for candidate in self.chain_cache.chains():
+                    tag_pc, tag_outcome = candidate.tag
+                    if tag_pc == chain.branch_pc and tag_outcome == wrong_bit:
+                        self.stats.flushed_uops += candidate.length
+            starts = [init_cycle + 1
+                      if successor.is_wildcard or predicted == outcome
+                      else finish
+                      for successor in successors]
+        # every successor consumes the producer's live-outs: each receives a
+        # snapshot of the lineage state at this completion, so siblings'
+        # writes can never leak into one another (a single successor may
+        # take the state itself — no sibling reads it afterwards)
+        if len(successors) == 1:
+            worklist.append((successors[0], starts[0], state))
+            return
+        for successor, start in zip(successors, starts):
+            worklist.append((successor, start, state.snapshot()))
+
+    # -- one dynamic instance --------------------------------------------------------
+
+    def _run_instance(self, chain: DependenceChain, lower_bound: int,
+                      state: "_LineageState"
+                      ) -> Optional[Tuple[int, bool, int]]:
+        # global rename: bind to a window slot (local RF + local RS)
+        init_cycle = lower_bound
+        finishes = self._active_finishes
+        while finishes and finishes[0] <= init_cycle:
+            heapq.heappop(finishes)
+        if len(finishes) >= self.config.window_slots:
+            earliest = heapq.heappop(finishes)
+            if earliest > init_cycle:
+                init_cycle = earliest
+                self.stats.window_stalls += 1
+
+        queue = self.queues.get_or_assign(chain.branch_pc)
+        if queue is None:
+            self.stats.uncovered_initiations += 1
+            return None
+        if queue.throttled:
+            # the DCE-side corollary of prediction throttling: a lineage
+            # whose values keep losing to TAGE is not worth executing; the
+            # throttle decays on retirements so the chain periodically
+            # retries (energy control, see Figure 14)
+            self.stats.suppressed_instances += 1
+            return None
+        ahead_cap = min(queue.capacity, self.config.runahead_limit)
+        slot = -1 if queue.occupancy() >= ahead_cap else queue.allocate()
+        if slot < 0:
+            self._parked[chain.branch_pc].append((chain, init_cycle, state))
+            self.stats.parked_events += 1
+            return None
+
+        outcome, finish = self._execute(chain, init_cycle, state)
+        heapq.heappush(finishes, finish)
+        queue.fill(slot, outcome, finish)
+        self.stats.instances_executed += 1
+        self.stats.instance_uops_total += chain.length
+        return init_cycle, outcome, finish
+
+    def _execute(self, chain: DependenceChain, start: int,
+                 state: "_LineageState") -> Tuple[bool, int]:
+        """Functional + timing execution of one instance.
+
+        Values come from the DCE architectural state and the shared memory;
+        timing respects per-register readiness (live-ins from producer
+        chains or the last sync), intra-chain dataflow, ALU occupancy, and
+        D-cache port availability.
+        """
+        regs = state.regs
+        ready = state.ready
+        pair_values: Dict[int, int] = {}
+        pair_ready: Dict[int, int] = {}
+        taken = False
+        finish = start
+        in_order = self.config.dce_in_order
+        previous_done = start
+
+        for index, op in enumerate(chain.exec_uops):
+            timed = chain.timed_flags[index]
+            if op.is_store:
+                # never writes memory inside the DCE; forward value + timing
+                pair_values[index] = regs[op.srcs[0]]
+                pair_ready[index] = ready[op.srcs[0]]
+                continue
+            if op.is_load and index in chain.pair_map:
+                store_index = chain.pair_map[index]
+                regs[op.dst] = pair_values.get(store_index, 0)
+                ready[op.dst] = pair_ready.get(store_index, start)
+                continue
+            if not timed:  # eliminated MOV
+                regs[op.dst] = regs[op.srcs[0]]
+                ready[op.dst] = ready[op.srcs[0]]
+                continue
+
+            data_ready = start
+            for src in op.src_regs:
+                if ready[src] > data_ready:
+                    data_ready = ready[src]
+            if in_order and previous_done > data_ready:
+                # §4.2 ablation: strict program-order scheduling serializes
+                # each uop behind its predecessor's completion (no MLP)
+                data_ready = previous_done
+
+            if op.is_load:
+                record = execute_uop(op, regs, self.memory)
+                port_cycle = self.ports.acquire_free(data_ready)
+                done = self.hierarchy.access_data(record.addr, port_cycle,
+                                                  from_dce=True)
+                self.stats.loads_executed += 1
+            else:
+                record = execute_uop(op, regs, self.memory)
+                issue = self.alus.acquire(data_ready)
+                done = issue + op.latency
+            self.stats.uops_executed += 1
+            previous_done = done
+            for dst in op.dst_regs:
+                ready[dst] = done
+            if op.is_cond_branch:
+                taken = record.taken
+            if done > finish:
+                finish = done
+        return taken, finish

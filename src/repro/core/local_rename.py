@@ -1,0 +1,101 @@
+"""Local rename and chain optimization (§4.3).
+
+Local rename happens once, at extraction time.  It serves three purposes in
+the paper, and the same three here:
+
+1. **Move elimination** — ``MOV`` uops, and store-load pairs detected during
+   extraction (which are "logically equivalent to a move"), are removed from
+   the executed chain.  This also guarantees installed chains contain no
+   store instructions.
+2. **Register footprint** — intra-chain communication is renamed onto a
+   minimal set of local physical registers, sizing the per-chain local
+   register file.
+3. **Live-in/live-out identification** — registers read before definition
+   become live-ins (copied from the core PRF or a producer chain's local RF
+   at global-rename time); registers defined in the chain become live-outs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.isa import uop as U
+from repro.isa.uop import Uop
+
+
+class RenameResult:
+    """Outcome of local rename over a sliced uop sequence."""
+
+    def __init__(self, timed_flags: List[bool], live_ins: Tuple[int, ...],
+                 live_outs: Tuple[int, ...], num_local_regs: int):
+        self.timed_flags = timed_flags
+        self.live_ins = live_ins
+        self.live_outs = live_outs
+        self.num_local_regs = num_local_regs
+
+    @property
+    def length(self) -> int:
+        return sum(self.timed_flags)
+
+
+def local_rename(exec_uops: List[Uop],
+                 pair_map: Dict[int, int]) -> RenameResult:
+    """Rename a chain's uops; mark eliminated uops; find live-ins/outs.
+
+    ``exec_uops`` is the slice in program order; ``pair_map`` maps the exec
+    index of each paired load to the exec index of the store that feeds it.
+
+    Value numbering: every surviving uop's destination gets a fresh value id.
+    ``MOV`` copies the source's id (eliminated).  A paired store is
+    eliminated; its data value id is forwarded to the paired load's
+    destination (eliminating the load too).  A register whose first use
+    precedes any definition reads a live-in id.
+    """
+    timed_flags = [True] * len(exec_uops)
+    value_of: Dict[int, int] = {}      # arch reg -> value id
+    live_in_ids: Dict[int, int] = {}   # arch reg -> live-in value id
+    next_value = 0
+    stored_value: Dict[int, int] = {}  # exec idx of store -> data value id
+    defined: set = set()
+
+    def use(reg: int) -> int:
+        nonlocal next_value
+        if reg in value_of:
+            return value_of[reg]
+        if reg not in live_in_ids:
+            live_in_ids[reg] = next_value
+            next_value += 1
+        return live_in_ids[reg]
+
+    for index, op in enumerate(exec_uops):
+        if op.opcode == U.MOV:
+            # move elimination: dst aliases src's value
+            value_of[op.dst] = use(op.srcs[0])
+            defined.add(op.dst)
+            timed_flags[index] = False
+            continue
+        if op.is_store:
+            # reads, no register definition; eliminated if paired
+            stored_value[index] = use(op.srcs[0])
+            use(op.base)
+            if op.index >= 0:
+                use(op.index)
+            timed_flags[index] = False  # stores never survive (§4.3)
+            continue
+        if op.is_load and index in pair_map:
+            # store-load pair: forward the stored value id
+            value_of[op.dst] = stored_value[pair_map[index]]
+            defined.add(op.dst)
+            timed_flags[index] = False
+            continue
+        # ordinary surviving uop: consume sources, define a fresh value
+        for src in op.src_regs:
+            use(src)
+        for dst in op.dst_regs:
+            value_of[dst] = next_value
+            next_value += 1
+            defined.add(dst)
+
+    live_ins = tuple(sorted(live_in_ids))
+    live_outs = tuple(sorted(defined))
+    return RenameResult(timed_flags, live_ins, live_outs, next_value)

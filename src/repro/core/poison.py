@@ -1,0 +1,78 @@
+"""Affector detection via poison propagation (§4.4).
+
+Registers and memory addresses in the *both-path dest set* of a merge
+prediction are marked poisoned (they may hold different values depending on
+the direction of the merge-predicted branch).  Retired correct-path
+instructions after the merge point propagate poison dataflow-style — an
+instruction sourcing poison poisons its destination; an instruction
+overwriting a poisoned destination with clean sources removes the poison.
+Any branch sourcing poison is an *affectee*: the merge-predicted branch is
+its affector.  The pass ends at a second instance of the merge-predicted
+branch or at the maximum merge distance (the poison algorithm is adapted
+from Runahead Execution [25]).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set
+
+from repro.core.merge_point import MergeResult
+from repro.emulator.trace import DynamicUop
+from repro.isa.registers import reg_bit
+
+
+class PoisonPass:
+    """One active affector-detection pass."""
+
+    def __init__(self, result: MergeResult, max_distance: int = 100):
+        self.affector_pc = result.branch_pc
+        self.max_distance = max_distance
+        self._poison_mask = result.both_path_dest_mask
+        self._wp_stores = result.wrong_path_stores
+        self._poisoned_addresses: Set[int] = set(result.correct_path_stores)
+        self._distance = 0
+        self.active = True
+        #: Branch PCs found to source poison (affectees of ``affector_pc``).
+        self.affectees: Set[int] = set()
+
+    def _sources_poison(self, record: DynamicUop) -> bool:
+        op = record.uop
+        for src in op.src_regs:
+            if self._poison_mask & reg_bit(src):
+                return True
+        if op.is_load:
+            if record.addr in self._poisoned_addresses:
+                return True
+            if self._wp_stores.contains(record.addr):
+                return True
+        return False
+
+    def on_retire(self, record: DynamicUop) -> Optional[Set[int]]:
+        """Process one retired uop; returns the affectee set when the pass
+        completes (else None)."""
+        if not self.active:
+            return None
+        op = record.uop
+        if op.pc == self.affector_pc:
+            self.active = False
+            return self.affectees
+        self._distance += 1
+        if self._distance > self.max_distance:
+            self.active = False
+            return self.affectees
+
+        poisoned = self._sources_poison(record)
+        if poisoned:
+            for dst in op.dst_regs:
+                self._poison_mask |= reg_bit(dst)
+            if op.is_store:
+                self._poisoned_addresses.add(record.addr)
+            if op.is_cond_branch:
+                self.affectees.add(op.pc)
+        else:
+            # clean overwrite clears poison
+            for dst in op.dst_regs:
+                self._poison_mask &= ~reg_bit(dst)
+            if op.is_store:
+                self._poisoned_addresses.discard(record.addr)
+        return None

@@ -1,0 +1,184 @@
+"""Prediction queues (§4.2).
+
+Per-branch FIFOs that carry DCE-computed outcomes to the fetch stage.  Three
+pointers maintain each queue: *DCE push* (slots are allocated at chain
+initiation, in program order, and filled at chain completion), *core fetch*
+(consumption at fetch — a slot consumed before its chain finishes is a
+**late** prediction), and *core retire* (frees capacity as branches retire).
+The fetch pointer is checkpointed at every branch and restored on recovery,
+reinserting consumed-but-unretired predictions.
+
+A 2-bit throttle counter per queue suppresses the DCE when it loses to TAGE
+(incremented when DCE right & TAGE wrong; decremented on the opposite;
+negative means ignore DCE).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Optional, Tuple
+
+#: Classification of a fetch-time queue consumption (Figure 12 categories).
+INACTIVE = "inactive"
+LATE = "late"
+READY = "ready"
+
+
+class PredictionEntry:
+    """One queue slot: allocated at initiation, filled at chain completion."""
+
+    __slots__ = ("value", "available_cycle", "consumed")
+
+    def __init__(self):
+        self.value: Optional[bool] = None
+        self.available_cycle: Optional[int] = None
+        self.consumed = False
+
+    @property
+    def filled(self) -> bool:
+        return self.value is not None
+
+
+class PredictionQueue:
+    """One per-branch prediction FIFO with push/fetch/retire pointers."""
+
+    THROTTLE_MIN = -2
+    THROTTLE_MAX = 1
+
+    #: Retirements between one-step throttle decays toward zero (lets a
+    #: suppressed chain lineage periodically retry).
+    THROTTLE_DECAY_PERIOD = 64
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError("queue capacity must be positive")
+        self.capacity = capacity
+        self._entries: Dict[int, PredictionEntry] = {}
+        self.push_ptr = 0     # next slot to allocate
+        self.fetch_ptr = 0    # next slot the core consumes
+        self.retire_ptr = 0   # oldest slot still occupied
+        self.throttle = 0
+        self._retires_since_decay = 0
+
+    # -- slot lifecycle -----------------------------------------------------
+
+    def occupancy(self) -> int:
+        return self.push_ptr - self.retire_ptr
+
+    def allocate(self) -> int:
+        """Allocate the next slot at chain initiation; -1 if full."""
+        if self.occupancy() >= self.capacity:
+            return -1
+        slot = self.push_ptr
+        self._entries[slot] = PredictionEntry()
+        self.push_ptr += 1
+        return slot
+
+    def fill(self, slot: int, value: bool, available_cycle: int) -> None:
+        """Deposit the chain's computed outcome (even if already consumed)."""
+        entry = self._entries.get(slot)
+        if entry is None:
+            return  # slot flushed before the chain finished
+        entry.value = value
+        entry.available_cycle = available_cycle
+
+    def consume(self, cycle: int) -> Tuple[str, Optional[bool]]:
+        """Core fetch consumes the next prediction; returns (category, value)."""
+        if self.fetch_ptr >= self.push_ptr:
+            return INACTIVE, None
+        entry = self._entries[self.fetch_ptr]
+        entry.consumed = True
+        self.fetch_ptr += 1
+        if not entry.filled or entry.available_cycle > cycle:
+            return LATE, entry.value
+        return READY, entry.value
+
+    def retire_one(self) -> None:
+        """Branch retired: free the oldest slot; slowly decay the throttle."""
+        if self.retire_ptr < self.fetch_ptr:
+            self._entries.pop(self.retire_ptr, None)
+            self.retire_ptr += 1
+        self._retires_since_decay += 1
+        if self._retires_since_decay >= self.THROTTLE_DECAY_PERIOD:
+            self._retires_since_decay = 0
+            if self.throttle < 0:
+                self.throttle += 1
+            elif self.throttle > 0:
+                self.throttle -= 1
+
+    # -- recovery --------------------------------------------------------------
+
+    def checkpoint(self) -> int:
+        """Snapshot the fetch pointer (taken at every branch)."""
+        return self.fetch_ptr
+
+    def restore(self, checkpoint: int) -> None:
+        """Recovery: reinsert consumed predictions after the flushed branch."""
+        if not self.retire_ptr <= checkpoint <= self.fetch_ptr:
+            raise ValueError("checkpoint outside live queue window")
+        for slot in range(checkpoint, self.fetch_ptr):
+            entry = self._entries.get(slot)
+            if entry is not None:
+                entry.consumed = False
+        self.fetch_ptr = checkpoint
+
+    def flush_unconsumed(self) -> int:
+        """Divergence resync: drop every allocated-but-unconsumed slot."""
+        dropped = 0
+        for slot in range(self.fetch_ptr, self.push_ptr):
+            if self._entries.pop(slot, None) is not None:
+                dropped += 1
+        self.push_ptr = self.fetch_ptr
+        return dropped
+
+    # -- throttling --------------------------------------------------------------
+
+    def update_throttle(self, dce_correct: bool, tage_correct: bool) -> None:
+        if dce_correct and not tage_correct:
+            self.throttle = min(self.THROTTLE_MAX, self.throttle + 1)
+        elif tage_correct and not dce_correct:
+            self.throttle = max(self.THROTTLE_MIN, self.throttle - 1)
+
+    @property
+    def throttled(self) -> bool:
+        return self.throttle < 0
+
+
+class PredictionQueueFile:
+    """The DCE's set of per-branch prediction queues (16 in Mini)."""
+
+    def __init__(self, num_queues: int = 16, entries_per_queue: int = 256):
+        self.num_queues = num_queues
+        self.entries_per_queue = entries_per_queue
+        self._queues: OrderedDict = OrderedDict()  # branch_pc -> queue
+
+    def get(self, branch_pc: int) -> Optional[PredictionQueue]:
+        queue = self._queues.get(branch_pc)
+        if queue is not None:
+            self._queues.move_to_end(branch_pc)
+        return queue
+
+    def get_or_assign(self, branch_pc: int) -> Optional[PredictionQueue]:
+        """Return the branch's queue, assigning one if available.
+
+        When all queues are taken, the least-recently-used *idle* queue
+        (no outstanding entries) is reassigned; with every queue busy the
+        branch goes uncovered, matching the fixed 16-queue budget.
+        """
+        queue = self.get(branch_pc)
+        if queue is not None:
+            return queue
+        if len(self._queues) < self.num_queues:
+            queue = PredictionQueue(self.entries_per_queue)
+            self._queues[branch_pc] = queue
+            return queue
+        for victim_pc, victim in self._queues.items():
+            if victim.occupancy() == 0:
+                del self._queues[victim_pc]
+                queue = PredictionQueue(self.entries_per_queue)
+                self._queues[branch_pc] = queue
+                return queue
+        return None
+
+    def covered(self) -> set:
+        return set(self._queues)

@@ -1,0 +1,18 @@
+"""Functional emulation: committed-path machine, memory, wrong-path walks."""
+
+from repro.emulator.machine import Machine, execute_uop
+from repro.emulator.memory import MASK64, Memory, OverlayMemory, wrap64
+from repro.emulator.shadow import ShadowUop, wrong_path_walk
+from repro.emulator.trace import DynamicUop
+
+__all__ = [
+    "Machine",
+    "execute_uop",
+    "MASK64",
+    "Memory",
+    "OverlayMemory",
+    "wrap64",
+    "ShadowUop",
+    "wrong_path_walk",
+    "DynamicUop",
+]

@@ -1,0 +1,70 @@
+"""Sparse word-addressed memory.
+
+Each address holds one 64-bit signed value.  Memory is backed by a dict so
+arbitrarily sparse data layouts (graph CSR arrays, pointer-chased pools) cost
+only what they touch.  Unwritten addresses read as zero.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+MASK64 = (1 << 64) - 1
+SIGN64 = 1 << 63
+
+
+def wrap64(value: int) -> int:
+    """Wrap an int to canonical signed 64-bit form (two's complement)."""
+    value &= MASK64
+    if value & SIGN64:
+        value -= 1 << 64
+    return value
+
+
+class Memory:
+    """Word-addressed sparse memory with zero-default reads."""
+
+    __slots__ = ("_words",)
+
+    def __init__(self, initial: Optional[Dict[int, int]] = None):
+        self._words: Dict[int, int] = {}
+        if initial:
+            for address, value in initial.items():
+                self._words[address] = wrap64(value)
+
+    def read(self, address: int) -> int:
+        return self._words.get(address, 0)
+
+    def write(self, address: int, value: int) -> None:
+        self._words[address] = wrap64(value)
+
+    def __len__(self) -> int:
+        return len(self._words)
+
+    def copy(self) -> "Memory":
+        clone = Memory()
+        clone._words = dict(self._words)
+        return clone
+
+
+class OverlayMemory:
+    """Read-through view of a :class:`Memory` with a private store overlay.
+
+    Used for wrong-path (shadow) execution: stores executed down the wrong
+    path must be visible to younger wrong-path loads but must never touch the
+    architectural memory image.
+    """
+
+    __slots__ = ("_backing", "_overlay")
+
+    def __init__(self, backing: Memory):
+        self._backing = backing
+        self._overlay: Dict[int, int] = {}
+
+    def read(self, address: int) -> int:
+        if address in self._overlay:
+            return self._overlay[address]
+        return self._backing.read(address)
+
+    def write(self, address: int, value: int) -> None:
+        self._overlay[address] = wrap64(value)

@@ -1,0 +1,43 @@
+"""Dynamic (executed) micro-op records.
+
+A :class:`DynamicUop` is one committed execution of a static uop.  It carries
+everything downstream consumers need without re-executing: the destination
+value (retired-register-file maintenance, live-in capture), the effective
+address and data value for memory ops (CEB store-load matching, poison
+memory tracking), and the branch outcome (prediction scoring).
+"""
+
+from __future__ import annotations
+
+from repro.isa.uop import Uop
+
+
+class DynamicUop:
+    """One dynamic instance of a static uop on the committed path."""
+
+    __slots__ = ("uop", "seq", "pc", "next_pc", "taken", "addr", "value",
+                 "dst_value")
+
+    def __init__(self, uop: Uop, seq: int, next_pc: int,
+                 taken: bool = False, addr: int = -1, value: int = 0,
+                 dst_value: int = 0):
+        self.uop = uop
+        self.seq = seq
+        self.pc = uop.pc
+        self.next_pc = next_pc
+        #: For branches: the resolved direction.
+        self.taken = taken
+        #: For loads/stores: the effective (word) address.
+        self.addr = addr
+        #: For loads: the loaded value; for stores: the stored value.
+        self.value = value
+        #: Value written to the destination register (or CC for compares).
+        self.dst_value = dst_value
+
+    def __repr__(self) -> str:
+        extra = ""
+        if self.uop.is_cond_branch:
+            extra = " taken" if self.taken else " not-taken"
+        elif self.uop.is_mem:
+            extra = f" @{self.addr:#x}={self.value}"
+        return f"<#{self.seq} {self.uop!r}{extra}>"

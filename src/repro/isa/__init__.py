@@ -1,0 +1,25 @@
+"""Micro-op ISA: uop format, architectural registers, and the assembler."""
+
+from repro.isa.program import Program, ProgramBuilder, DATA_BASE
+from repro.isa.registers import CC, NUM_ARCH_REGS, NUM_GPRS, reg_bit, reg_name
+from repro.isa.uop import (
+    COND_NAMES,
+    OPCODE_NAMES,
+    Uop,
+    evaluate_condition,
+)
+
+__all__ = [
+    "Program",
+    "ProgramBuilder",
+    "DATA_BASE",
+    "CC",
+    "NUM_ARCH_REGS",
+    "NUM_GPRS",
+    "reg_bit",
+    "reg_name",
+    "COND_NAMES",
+    "OPCODE_NAMES",
+    "Uop",
+    "evaluate_condition",
+]

@@ -1,0 +1,239 @@
+"""Programs and the :class:`ProgramBuilder` assembler.
+
+Workloads are authored directly in the micro-op ISA through a small
+label-based assembler.  PCs are uop indices (every uop is one "address"),
+branch targets are labels resolved at :meth:`ProgramBuilder.build` time, and
+data lives in a word-addressed initial-memory image.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.isa import uop as U
+from repro.isa.registers import NUM_GPRS
+from repro.isa.uop import Uop
+
+#: Default base address of the data segment (word-addressed).
+DATA_BASE = 0x10000
+
+
+class Program:
+    """A static program: an indexed list of uops plus an initial memory image.
+
+    ``uops[pc]`` is the uop at address ``pc``.  Execution starts at PC 0 and
+    ends at a ``HALT`` uop (or when the emulator's instruction budget runs
+    out, which is the normal case for the looping workload kernels).
+    """
+
+    def __init__(self, uops: List[Uop], initial_memory: Dict[int, int],
+                 name: str = "program"):
+        self.uops = uops
+        self.initial_memory = initial_memory
+        self.name = name
+        for pc, op in enumerate(uops):
+            op.pc = pc
+
+    def __len__(self) -> int:
+        return len(self.uops)
+
+    def __repr__(self) -> str:
+        return f"Program({self.name!r}, {len(self.uops)} uops)"
+
+    def listing(self) -> str:
+        """Return a human-readable disassembly of the whole program."""
+        return "\n".join(repr(op) for op in self.uops)
+
+
+class ProgramBuilder:
+    """Assembler for authoring :class:`Program` objects.
+
+    Typical use::
+
+        b = ProgramBuilder("demo")
+        data = b.data("table", [3, 1, 4, 1, 5])
+        i, x, base = b.regs("i", "x", "base")
+        b.movi(base, data)
+        b.movi(i, 0)
+        b.label("loop")
+        b.ld(x, base=base, index=i)
+        b.cmpi(x, 3)
+        b.br("ge", "big")
+        ...
+        b.jmp("loop")
+        program = b.build()
+
+    Registers are allocated by name (:meth:`reg` / :meth:`regs`) from the 32
+    GPRs; allocating more than 32 raises.  Data arrays are placed in the word
+    addressed data segment and their base address is returned.
+    """
+
+    def __init__(self, name: str = "program"):
+        self.name = name
+        self._uops: List[Uop] = []
+        self._labels: Dict[str, int] = {}
+        self._fixups: List[tuple] = []  # (uop_index, label_name)
+        self._registers: Dict[str, int] = {}
+        self._next_reg = 0
+        self._memory: Dict[int, int] = {}
+        self._next_data = DATA_BASE
+        self._data_bases: Dict[str, int] = {}
+
+    # -- registers ---------------------------------------------------------
+
+    def reg(self, name: str) -> int:
+        """Allocate (or look up) a named general-purpose register."""
+        if name in self._registers:
+            return self._registers[name]
+        if self._next_reg >= NUM_GPRS:
+            raise RuntimeError(f"out of registers allocating {name!r}")
+        self._registers[name] = self._next_reg
+        self._next_reg += 1
+        return self._registers[name]
+
+    def regs(self, *names: str) -> List[int]:
+        """Allocate several named registers at once."""
+        return [self.reg(name) for name in names]
+
+    # -- data segment --------------------------------------------------------
+
+    def data(self, name: str, values: Sequence[int]) -> int:
+        """Place ``values`` in the data segment; return the base address."""
+        base = self._next_data
+        self._data_bases[name] = base
+        for offset, value in enumerate(values):
+            self._memory[base + offset] = int(value)
+        self._next_data = base + max(len(values), 1)
+        return base
+
+    def zeros(self, name: str, count: int) -> int:
+        """Reserve ``count`` zero-initialized words; return the base address."""
+        return self.data(name, [0] * count)
+
+    def data_base(self, name: str) -> int:
+        """Return the base address of a previously placed data array."""
+        return self._data_bases[name]
+
+    # -- labels and control flow ---------------------------------------------
+
+    def label(self, name: str) -> None:
+        """Define a label at the current position."""
+        if name in self._labels:
+            raise ValueError(f"duplicate label {name!r}")
+        self._labels[name] = len(self._uops)
+
+    def br(self, cond: str, label: str) -> None:
+        """Conditional branch on CC (``cond`` in eq/ne/lt/le/gt/ge)."""
+        self._emit(Uop(U.BR, cond=U.COND_BY_NAME[cond]), label)
+
+    def jmp(self, label: str) -> None:
+        self._emit(Uop(U.JMP), label)
+
+    def halt(self) -> None:
+        self._emit(Uop(U.HALT))
+
+    # -- ALU ----------------------------------------------------------------
+
+    def add(self, rd, ra, rb):
+        self._emit(Uop(U.ADD, dst=rd, srcs=(ra, rb)))
+
+    def sub(self, rd, ra, rb):
+        self._emit(Uop(U.SUB, dst=rd, srcs=(ra, rb)))
+
+    def mul(self, rd, ra, rb):
+        self._emit(Uop(U.MUL, dst=rd, srcs=(ra, rb)))
+
+    def and_(self, rd, ra, rb):
+        self._emit(Uop(U.AND, dst=rd, srcs=(ra, rb)))
+
+    def or_(self, rd, ra, rb):
+        self._emit(Uop(U.OR, dst=rd, srcs=(ra, rb)))
+
+    def xor(self, rd, ra, rb):
+        self._emit(Uop(U.XOR, dst=rd, srcs=(ra, rb)))
+
+    def shl(self, rd, ra, rb):
+        self._emit(Uop(U.SHL, dst=rd, srcs=(ra, rb)))
+
+    def shr(self, rd, ra, rb):
+        self._emit(Uop(U.SHR, dst=rd, srcs=(ra, rb)))
+
+    def sar(self, rd, ra, rb):
+        self._emit(Uop(U.SAR, dst=rd, srcs=(ra, rb)))
+
+    def div(self, rd, ra, rb):
+        self._emit(Uop(U.DIV, dst=rd, srcs=(ra, rb)))
+
+    def mod(self, rd, ra, rb):
+        self._emit(Uop(U.MOD, dst=rd, srcs=(ra, rb)))
+
+    def addi(self, rd, ra, imm):
+        self._emit(Uop(U.ADDI, dst=rd, srcs=(ra,), imm=imm))
+
+    def muli(self, rd, ra, imm):
+        self._emit(Uop(U.MULI, dst=rd, srcs=(ra,), imm=imm))
+
+    def andi(self, rd, ra, imm):
+        self._emit(Uop(U.ANDI, dst=rd, srcs=(ra,), imm=imm))
+
+    def ori(self, rd, ra, imm):
+        self._emit(Uop(U.ORI, dst=rd, srcs=(ra,), imm=imm))
+
+    def xori(self, rd, ra, imm):
+        self._emit(Uop(U.XORI, dst=rd, srcs=(ra,), imm=imm))
+
+    def shli(self, rd, ra, imm):
+        self._emit(Uop(U.SHLI, dst=rd, srcs=(ra,), imm=imm))
+
+    def shri(self, rd, ra, imm):
+        self._emit(Uop(U.SHRI, dst=rd, srcs=(ra,), imm=imm))
+
+    def sari(self, rd, ra, imm):
+        self._emit(Uop(U.SARI, dst=rd, srcs=(ra,), imm=imm))
+
+    def mov(self, rd, ra):
+        self._emit(Uop(U.MOV, dst=rd, srcs=(ra,)))
+
+    def movi(self, rd, imm):
+        self._emit(Uop(U.MOVI, dst=rd, imm=imm))
+
+    def not_(self, rd, ra):
+        self._emit(Uop(U.NOT, dst=rd, srcs=(ra,)))
+
+    def sext32(self, rd, ra):
+        self._emit(Uop(U.SEXT32, dst=rd, srcs=(ra,)))
+
+    # -- compare & memory -----------------------------------------------------
+
+    def cmp(self, ra, rb):
+        self._emit(Uop(U.CMP, srcs=(ra, rb)))
+
+    def cmpi(self, ra, imm):
+        self._emit(Uop(U.CMPI, srcs=(ra,), imm=imm))
+
+    def ld(self, rd, base, index: Optional[int] = None, scale: int = 1,
+           disp: int = 0):
+        self._emit(Uop(U.LD, dst=rd, base=base,
+                       index=-1 if index is None else index,
+                       scale=scale, disp=disp))
+
+    def st(self, rs, base, index: Optional[int] = None, scale: int = 1,
+           disp: int = 0):
+        self._emit(Uop(U.ST, srcs=(rs,), base=base,
+                       index=-1 if index is None else index,
+                       scale=scale, disp=disp))
+
+    # -- build ----------------------------------------------------------------
+
+    def build(self) -> Program:
+        """Resolve labels and return the finished :class:`Program`."""
+        for uop_index, label in self._fixups:
+            if label not in self._labels:
+                raise ValueError(f"undefined label {label!r}")
+            self._uops[uop_index].target = self._labels[label]
+        return Program(self._uops, dict(self._memory), name=self.name)
+
+    def _emit(self, op: Uop, label: Optional[str] = None) -> None:
+        if label is not None:
+            self._fixups.append((len(self._uops), label))
+        self._uops.append(op)

@@ -1,0 +1,49 @@
+"""Architectural register definitions for the reproduction micro-op ISA.
+
+The ISA exposes 32 general-purpose 64-bit integer registers (``R0``-``R31``)
+plus a condition-code register ``CC`` written by compare micro-ops and read
+by conditional branches.  Registers are identified by small integer indices
+so that dataflow walks (chain extraction, poison propagation) can use plain
+integer sets and bitmasks.
+"""
+
+from __future__ import annotations
+
+#: Number of general-purpose registers.
+NUM_GPRS = 32
+
+#: Index of the condition-code register.
+CC = NUM_GPRS
+
+#: Total number of architectural registers (GPRs + CC).
+NUM_ARCH_REGS = NUM_GPRS + 1
+
+#: Mask with one bit per architectural register, used for dest-set vectors.
+ALL_REGS_MASK = (1 << NUM_ARCH_REGS) - 1
+
+
+def reg_name(index: int) -> str:
+    """Return the assembly name for a register index (``R7``, ``CC``)."""
+    if index == CC:
+        return "CC"
+    if 0 <= index < NUM_GPRS:
+        return f"R{index}"
+    raise ValueError(f"invalid register index: {index}")
+
+
+def parse_reg(name: str) -> int:
+    """Parse an assembly register name back to its index."""
+    if name == "CC":
+        return CC
+    if name.startswith("R"):
+        index = int(name[1:])
+        if 0 <= index < NUM_GPRS:
+            return index
+    raise ValueError(f"invalid register name: {name!r}")
+
+
+def reg_bit(index: int) -> int:
+    """Return the single-bit mask for a register, for dest-set vectors."""
+    if not 0 <= index < NUM_ARCH_REGS:
+        raise ValueError(f"invalid register index: {index}")
+    return 1 << index

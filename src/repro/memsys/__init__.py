@@ -1,0 +1,21 @@
+"""Memory system: caches, MSHRs, stream prefetcher, DRAM, port arbitration."""
+
+from repro.memsys.cache import Cache, CacheStats, word_to_line
+from repro.memsys.dram import Dram, DramConfig
+from repro.memsys.hierarchy import HierarchyConfig, MemoryHierarchy
+from repro.memsys.mshr import MshrFile
+from repro.memsys.port import PortTracker
+from repro.memsys.prefetcher import StreamPrefetcher
+
+__all__ = [
+    "Cache",
+    "CacheStats",
+    "word_to_line",
+    "Dram",
+    "DramConfig",
+    "HierarchyConfig",
+    "MemoryHierarchy",
+    "MshrFile",
+    "PortTracker",
+    "StreamPrefetcher",
+]

@@ -1,0 +1,78 @@
+"""DDR4-like DRAM timing model (Ramulator substitute).
+
+Models the two DRAM behaviours the paper's results actually depend on:
+
+* **Row-buffer locality** — a request to a bank's open row pays CAS only;
+  a row conflict pays precharge + activate + CAS.
+* **Bank/channel contention** — each bank serializes its requests and the
+  shared data bus adds transfer time, so bursts of misses queue up.
+
+Timings are in core cycles at 3.2 GHz against DDR4-2400-ish parameters.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+
+class DramConfig:
+    """Timing and geometry parameters."""
+
+    def __init__(self,
+                 num_banks: int = 16,
+                 row_size_lines: int = 128,  # 8KB rows / 64B lines
+                 t_cas: int = 40,            # CAS latency (core cycles)
+                 t_rcd: int = 40,            # activate-to-read
+                 t_rp: int = 40,             # precharge
+                 t_bus: int = 8,             # data transfer per line
+                 controller_latency: int = 20):
+        self.num_banks = num_banks
+        self.row_size_lines = row_size_lines
+        self.t_cas = t_cas
+        self.t_rcd = t_rcd
+        self.t_rp = t_rp
+        self.t_bus = t_bus
+        self.controller_latency = controller_latency
+
+
+class Dram:
+    """Open-page DRAM with per-bank row buffers and a shared data bus."""
+
+    def __init__(self, config: DramConfig = None):
+        self.config = config or DramConfig()
+        cfg = self.config
+        self._open_row: List[int] = [-1] * cfg.num_banks
+        self._bank_free: List[int] = [0] * cfg.num_banks
+        self._bus_free = 0
+        self.row_hits = 0
+        self.row_conflicts = 0
+        self.accesses = 0
+
+    def _map(self, line: int):
+        cfg = self.config
+        bank = line % cfg.num_banks
+        row = (line // cfg.num_banks) // cfg.row_size_lines
+        return bank, row
+
+    def access(self, line: int, cycle: int) -> int:
+        """Issue a line read/write at ``cycle``; return the completion cycle."""
+        cfg = self.config
+        bank, row = self._map(line)
+        self.accesses += 1
+        start = max(cycle + cfg.controller_latency, self._bank_free[bank])
+        if self._open_row[bank] == row:
+            self.row_hits += 1
+            latency = cfg.t_cas
+        else:
+            self.row_conflicts += 1
+            latency = cfg.t_rp + cfg.t_rcd + cfg.t_cas
+            self._open_row[bank] = row
+        data_ready = start + latency
+        # serialize the burst on the shared bus
+        transfer_start = max(data_ready, self._bus_free)
+        self._bus_free = transfer_start + cfg.t_bus
+        self._bank_free[bank] = data_ready
+        return transfer_start + cfg.t_bus
+
+    def row_hit_rate(self) -> float:
+        return self.row_hits / self.accesses if self.accesses else 0.0

@@ -1,0 +1,135 @@
+"""The full memory hierarchy: L1I + L1D + L2 + stream prefetcher + DRAM.
+
+Table 1 configuration: 32KB 8-way L1s (3-cycle hit), 2MB 12-way L2
+(18-cycle), stream prefetcher into the LLC, DDR4 behind a 64-entry memory
+queue.  ``access_data`` returns the *completion cycle* of the access, which
+the scoreboard timing models (core and DCE) consume directly.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.memsys.cache import Cache, word_to_line
+from repro.memsys.dram import Dram, DramConfig
+from repro.memsys.mshr import MshrFile
+from repro.memsys.prefetcher import StreamPrefetcher
+
+
+class HierarchyConfig:
+    """Sizing/latency knobs (defaults = paper Table 1)."""
+
+    def __init__(self,
+                 l1i_bytes: int = 32 * 1024,
+                 l1d_bytes: int = 32 * 1024,
+                 l1_ways: int = 8,
+                 l1_latency: int = 3,
+                 l2_bytes: int = 2 * 1024 * 1024,
+                 l2_ways: int = 8,
+                 l2_latency: int = 18,
+                 line_bytes: int = 64,
+                 mshr_entries: int = 64,
+                 dce_mshr_entries: int = 48,
+                 prefetch_streams: int = 64,
+                 prefetch_distance: int = 16,
+                 dram: Optional[DramConfig] = None):
+        self.l1i_bytes = l1i_bytes
+        self.l1d_bytes = l1d_bytes
+        self.l1_ways = l1_ways
+        self.l1_latency = l1_latency
+        self.l2_bytes = l2_bytes
+        self.l2_ways = l2_ways
+        self.l2_latency = l2_latency
+        self.line_bytes = line_bytes
+        self.mshr_entries = mshr_entries
+        self.dce_mshr_entries = dce_mshr_entries
+        self.prefetch_streams = prefetch_streams
+        self.prefetch_distance = prefetch_distance
+        self.dram = dram or DramConfig()
+
+
+class MemoryHierarchy:
+    """Shared by the core and the DCE (which has no caches of its own)."""
+
+    def __init__(self, config: Optional[HierarchyConfig] = None):
+        self.config = config or HierarchyConfig()
+        cfg = self.config
+        self.l1i = Cache("L1I", cfg.l1i_bytes, cfg.l1_ways, cfg.line_bytes,
+                         cfg.l1_latency)
+        self.l1d = Cache("L1D", cfg.l1d_bytes, cfg.l1_ways, cfg.line_bytes,
+                         cfg.l1_latency)
+        self.l2 = Cache("L2", cfg.l2_bytes, cfg.l2_ways, cfg.line_bytes,
+                        cfg.l2_latency)
+        self.mshrs = MshrFile(cfg.mshr_entries)
+        #: The DCE brings its own miss registers (Table 2: 48/64 entries),
+        #: so chain loads do not consume the core's outstanding-miss budget.
+        self.dce_mshrs = MshrFile(cfg.dce_mshr_entries)
+        self.prefetcher = StreamPrefetcher(cfg.prefetch_streams,
+                                           cfg.prefetch_distance)
+        self.dram = Dram(cfg.dram)
+        # split demand counters for the energy model / Figure 3
+        self.core_accesses = 0
+        self.dce_accesses = 0
+
+    # -- data side -----------------------------------------------------------
+
+    def access_data(self, word_address: int, cycle: int,
+                    is_write: bool = False, from_dce: bool = False) -> int:
+        """Perform a demand data access; return its completion cycle."""
+        cfg = self.config
+        line, _ = word_to_line(word_address, cfg.line_bytes)
+        if from_dce:
+            self.dce_accesses += 1
+        else:
+            self.core_accesses += 1
+
+        mshrs = self.dce_mshrs if from_dce else self.mshrs
+        if self.l1d.access(line, is_write):
+            # the tag may be present while the fill is still in flight
+            pending = self.mshrs.lookup(line, cycle)
+            if pending < 0:
+                pending = self.dce_mshrs.lookup(line, cycle)
+            if pending >= 0:
+                return pending
+            return cycle + cfg.l1_latency
+
+        # L1 miss: merge with an outstanding fill if possible (either file)
+        merged_ready = self.mshrs.lookup(line, cycle)
+        if merged_ready < 0:
+            merged_ready = self.dce_mshrs.lookup(line, cycle)
+        if merged_ready >= 0:
+            self.l1d.fill(line, is_write)
+            return merged_ready
+
+        l2_start = cycle + cfg.l1_latency
+        if self.l2.access(line, is_write=False):
+            ready = l2_start + cfg.l2_latency
+        else:
+            self._train_prefetcher(line)
+            ready = self.dram.access(line, l2_start + cfg.l2_latency)
+            self.l2.fill(line)
+        ready = mshrs.allocate(line, cycle, ready)
+        self.l1d.fill(line, is_write)
+        return ready
+
+    def _train_prefetcher(self, line: int) -> None:
+        for prefetch_line in self.prefetcher.train(line):
+            if not self.l2.lookup(prefetch_line):
+                self.l2.fill(prefetch_line, from_prefetch=True)
+
+    # -- instruction side ------------------------------------------------------
+
+    def access_insn(self, pc: int, cycle: int) -> int:
+        """Instruction fetch for the line containing ``pc`` (uop index)."""
+        cfg = self.config
+        line = pc >> 3  # 8 uops per "line"
+        if self.l1i.access(line, is_write=False):
+            return cycle + cfg.l1_latency
+        if self.l2.access(line, is_write=False):
+            ready = cycle + cfg.l1_latency + cfg.l2_latency
+        else:
+            ready = self.dram.access(line, cycle + cfg.l1_latency
+                                     + cfg.l2_latency)
+            self.l2.fill(line)
+        self.l1i.fill(line)
+        return ready

@@ -1,0 +1,60 @@
+"""Miss Status Holding Registers.
+
+Bounds the number of overlapping misses (the memory-level-parallelism cap
+Table 1's 64-entry memory queue and Table 2's 48/64-entry DCE MSHRs model).
+In the scoreboard-style timing model we track outstanding (line, ready)
+pairs: a new miss merges with an in-flight line, and when all registers are
+busy the new miss is delayed until the earliest one retires.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+
+class MshrFile:
+    """Outstanding-miss tracker with merge and capacity-delay semantics."""
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError("MSHR capacity must be positive")
+        self.capacity = capacity
+        self._outstanding: Dict[int, int] = {}  # line -> ready cycle
+        self.merges = 0
+        self.capacity_stalls = 0
+
+    def outstanding_count(self, cycle: int) -> int:
+        """Number of misses still in flight at ``cycle`` (also prunes)."""
+        finished = [line for line, ready in self._outstanding.items()
+                    if ready <= cycle]
+        for line in finished:
+            del self._outstanding[line]
+        return len(self._outstanding)
+
+    def lookup(self, line: int, cycle: int) -> int:
+        """If ``line`` is already in flight at ``cycle``, return its ready
+        cycle; else -1."""
+        ready = self._outstanding.get(line, -1)
+        if ready > cycle:
+            self.merges += 1
+            return ready
+        return -1
+
+    def allocate(self, line: int, cycle: int, ready: int) -> int:
+        """Allocate an MSHR for a new miss starting at ``cycle``.
+
+        Returns the (possibly delayed) ready cycle.  If the file is full the
+        miss is charged the wait until the earliest outstanding miss retires.
+        """
+        if self.outstanding_count(cycle) >= self.capacity:
+            earliest = min(self._outstanding.values())
+            delay = max(0, earliest - cycle)
+            self.capacity_stalls += 1
+            ready += delay
+            # retire the earliest to make room
+            for line_key, line_ready in list(self._outstanding.items()):
+                if line_ready == earliest:
+                    del self._outstanding[line_key]
+                    break
+        self._outstanding[line] = ready
+        return ready

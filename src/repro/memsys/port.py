@@ -1,0 +1,56 @@
+"""Cache-port arbitration between the core and the DCE.
+
+§4.2: "The main thread is given priority to the D-Cache and D-TLB ports, and
+the DCE may only use these structures when available."  The core reserves
+ports unconditionally; the DCE asks for the earliest cycle with a free port.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+
+class PortTracker:
+    """Per-cycle usage counts for a fixed number of ports."""
+
+    def __init__(self, num_ports: int = 2):
+        self.num_ports = num_ports
+        self._usage: Dict[int, int] = {}
+        self._prune_below = 0
+        self.core_uses = 0
+        self.dce_uses = 0
+        self.dce_delay_cycles = 0
+
+    def use_core(self, cycle: int) -> None:
+        """Core demand access: takes a port at ``cycle`` with priority.
+
+        Cores can oversubscribe in this approximate model (the uarch issue
+        logic, not the port tracker, limits core loads per cycle).
+        """
+        self._usage[cycle] = self._usage.get(cycle, 0) + 1
+        self.core_uses += 1
+
+    def acquire_free(self, cycle: int, horizon: int = 64) -> int:
+        """DCE access: return the earliest cycle >= ``cycle`` with a free port.
+
+        Scans up to ``horizon`` cycles ahead; if everything is saturated the
+        DCE waits the full horizon (modeling starvation under core bursts).
+        """
+        start = cycle
+        for candidate in range(cycle, cycle + horizon):
+            if self._usage.get(candidate, 0) < self.num_ports:
+                self._usage[candidate] = self._usage.get(candidate, 0) + 1
+                self.dce_uses += 1
+                self.dce_delay_cycles += candidate - start
+                return candidate
+        self.dce_uses += 1
+        self.dce_delay_cycles += horizon
+        return cycle + horizon
+
+    def prune(self, below_cycle: int) -> None:
+        """Drop bookkeeping for cycles older than ``below_cycle``."""
+        if below_cycle - self._prune_below < 4096:
+            return
+        self._usage = {cycle: count for cycle, count in self._usage.items()
+                       if cycle >= below_cycle}
+        self._prune_below = below_cycle

@@ -1,0 +1,74 @@
+"""Stream prefetcher (Table 1: 64 streams, distance 16, prefetch into LLC).
+
+Detects ascending or descending line-address streams and, once trained,
+issues prefetches ``distance`` lines ahead of the demand stream into the
+last-level cache.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+
+class _Stream:
+    __slots__ = ("last_line", "direction", "confidence", "lru")
+
+    def __init__(self, line: int, lru: int):
+        self.last_line = line
+        self.direction = 0
+        self.confidence = 0
+        self.lru = lru
+
+
+class StreamPrefetcher:
+    """Classic multi-stream next-line-run detector."""
+
+    TRAIN_THRESHOLD = 2
+
+    def __init__(self, num_streams: int = 64, distance: int = 16,
+                 degree: int = 2, window: int = 4):
+        self.num_streams = num_streams
+        self.distance = distance
+        self.degree = degree
+        self.window = window  # how close a miss must be to extend a stream
+        self._streams: List[_Stream] = []
+        self._clock = 0
+        self.issued = 0
+
+    def train(self, line: int) -> List[int]:
+        """Observe a demand access; return lines to prefetch (maybe empty)."""
+        self._clock += 1
+        for stream in self._streams:
+            delta = line - stream.last_line
+            if delta == 0:
+                stream.lru = self._clock
+                return []
+            if 0 < abs(delta) <= self.window:
+                direction = 1 if delta > 0 else -1
+                if direction == stream.direction:
+                    stream.confidence = min(stream.confidence + 1, 7)
+                else:
+                    stream.direction = direction
+                    stream.confidence = 1
+                stream.last_line = line
+                stream.lru = self._clock
+                if stream.confidence >= self.TRAIN_THRESHOLD:
+                    prefetches = [
+                        line + direction * (self.distance + i)
+                        for i in range(self.degree)
+                    ]
+                    self.issued += len(prefetches)
+                    return prefetches
+                return []
+        self._allocate(line)
+        return []
+
+    def _allocate(self, line: int) -> None:
+        if len(self._streams) < self.num_streams:
+            self._streams.append(_Stream(line, self._clock))
+            return
+        victim = min(self._streams, key=lambda s: s.lru)
+        victim.last_line = line
+        victim.direction = 0
+        victim.confidence = 0
+        victim.lru = self._clock

@@ -1,0 +1,17 @@
+"""Power and area modeling (McPAT substitute)."""
+
+from repro.power.area import (
+    BASELINE_CORE_MM2,
+    TAGE_SCL_64KB_MM2,
+    AreaReport,
+)
+from repro.power.energy import EnergyReport, energy_change_percent, estimate
+
+__all__ = [
+    "BASELINE_CORE_MM2",
+    "TAGE_SCL_64KB_MM2",
+    "AreaReport",
+    "EnergyReport",
+    "energy_change_percent",
+    "estimate",
+]

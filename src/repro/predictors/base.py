@@ -1,0 +1,47 @@
+"""Branch predictor interface.
+
+All predictors follow the championship (CBP) discipline: ``predict(pc)`` is
+called at fetch, ``update(pc, taken)`` immediately after with the resolved
+outcome.  This models a front end with perfect history repair on
+mispredictions, which is the standard idealization in trace-driven branch
+prediction studies and what the paper's Figure 1 methodology implies.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+
+class BranchPredictor(ABC):
+    """Interface for conditional-branch direction predictors."""
+
+    #: Human-readable name used in result tables.
+    name = "base"
+
+    @abstractmethod
+    def predict(self, pc: int) -> bool:
+        """Return the predicted direction for the branch at ``pc``."""
+
+    @abstractmethod
+    def update(self, pc: int, taken: bool) -> None:
+        """Train with the resolved direction of the branch at ``pc``."""
+
+    def storage_bits(self) -> int:
+        """Approximate storage cost in bits (0 if not meaningful)."""
+        return 0
+
+    def storage_kb(self) -> float:
+        """Approximate storage cost in kilobytes."""
+        return self.storage_bits() / 8 / 1024
+
+
+class AlwaysTakenPredictor(BranchPredictor):
+    """Degenerate baseline: predict taken unconditionally."""
+
+    name = "always-taken"
+
+    def predict(self, pc: int) -> bool:
+        return True
+
+    def update(self, pc: int, taken: bool) -> None:
+        pass

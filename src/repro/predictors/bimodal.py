@@ -1,0 +1,41 @@
+"""Bimodal (per-PC 2-bit counter) predictor.
+
+Serves both as a standalone baseline and as the base prediction of TAGE.
+"""
+
+from __future__ import annotations
+
+from repro.predictors.base import BranchPredictor
+
+
+class BimodalPredictor(BranchPredictor):
+    """PC-indexed table of 2-bit saturating counters."""
+
+    name = "bimodal"
+
+    def __init__(self, size_log2: int = 14, counter_bits: int = 2):
+        self.size_log2 = size_log2
+        self.counter_bits = counter_bits
+        self._mask = (1 << size_log2) - 1
+        self._max = (1 << counter_bits) - 1
+        self._threshold = 1 << (counter_bits - 1)
+        # weakly not-taken initial state
+        self.table = [self._threshold - 1] * (1 << size_log2)
+
+    def _index(self, pc: int) -> int:
+        return pc & self._mask
+
+    def predict(self, pc: int) -> bool:
+        return self.table[self._index(pc)] >= self._threshold
+
+    def update(self, pc: int, taken: bool) -> None:
+        index = self._index(pc)
+        value = self.table[index]
+        if taken:
+            if value < self._max:
+                self.table[index] = value + 1
+        elif value > 0:
+            self.table[index] = value - 1
+
+    def storage_bits(self) -> int:
+        return len(self.table) * self.counter_bits

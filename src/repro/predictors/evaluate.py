@@ -1,0 +1,93 @@
+"""Trace-driven predictor evaluation (CBP-style scoring).
+
+Scores any :class:`~repro.predictors.base.BranchPredictor` against the
+committed branch stream of a workload, without the timing model — the
+methodology behind Figure 1 and the CBP competitions the paper's
+predictors come from.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Optional
+
+from repro.emulator.machine import Machine
+from repro.isa.program import Program
+from repro.predictors.base import BranchPredictor
+
+
+class TraceScore:
+    """Accuracy results of one predictor over one trace."""
+
+    def __init__(self):
+        self.instructions = 0
+        self.branches = 0
+        self.mispredicts = 0
+        self.per_branch_counts: Dict[int, int] = defaultdict(int)
+        self.per_branch_mispredicts: Dict[int, int] = defaultdict(int)
+
+    @property
+    def accuracy(self) -> float:
+        if not self.branches:
+            return 1.0
+        return 1.0 - self.mispredicts / self.branches
+
+    @property
+    def mpki(self) -> float:
+        if not self.instructions:
+            return 0.0
+        return 1000.0 * self.mispredicts / self.instructions
+
+    def hardest_branches(self, count: int = 32):
+        ranked = sorted(self.per_branch_mispredicts.items(),
+                        key=lambda item: item[1], reverse=True)
+        return [pc for pc, _ in ranked[:count]]
+
+    def accuracy_on(self, pcs) -> float:
+        """Accuracy restricted to a set of branch PCs (Figure 1 style)."""
+        executed = sum(self.per_branch_counts[pc] for pc in pcs)
+        mispredicted = sum(self.per_branch_mispredicts[pc] for pc in pcs)
+        if not executed:
+            return 1.0
+        return 1.0 - mispredicted / executed
+
+
+def score_trace(program: Program, predictor: BranchPredictor,
+                instructions: int = 30_000, warmup: int = 0,
+                machine: Optional[Machine] = None) -> TraceScore:
+    """Run ``predictor`` over the committed stream; return its score.
+
+    ``warmup`` branches train the predictor without being counted.
+    Passing an existing ``machine`` continues from its current position
+    (mid-stream scoring).
+    """
+    machine = machine or Machine(program)
+    score = TraceScore()
+    seen = 0
+    for record in machine.stream(instructions + warmup):
+        seen += 1
+        counted = seen > warmup
+        if counted:
+            score.instructions += 1
+        if record.uop.is_cond_branch:
+            prediction = predictor.predict(record.pc)
+            predictor.update(record.pc, record.taken)
+            if counted:
+                score.branches += 1
+                score.per_branch_counts[record.pc] += 1
+                if prediction != record.taken:
+                    score.mispredicts += 1
+                    score.per_branch_mispredicts[record.pc] += 1
+    return score
+
+
+def compare_predictors(program: Program, predictors,
+                       instructions: int = 30_000,
+                       warmup: int = 0) -> Dict[str, TraceScore]:
+    """Score several predictors on identical traces; keyed by name."""
+    return {
+        predictor.name: score_trace(program, predictor,
+                                    instructions=instructions,
+                                    warmup=warmup)
+        for predictor in predictors
+    }

@@ -1,0 +1,38 @@
+"""GShare predictor: global-history XOR PC indexed 2-bit counters."""
+
+from __future__ import annotations
+
+from repro.predictors.base import BranchPredictor
+
+
+class GSharePredictor(BranchPredictor):
+    """Classic gshare with a ``history_bits``-deep global history register."""
+
+    name = "gshare"
+
+    def __init__(self, size_log2: int = 14, history_bits: int = 12):
+        self.size_log2 = size_log2
+        self.history_bits = history_bits
+        self._index_mask = (1 << size_log2) - 1
+        self._history_mask = (1 << history_bits) - 1
+        self.table = [1] * (1 << size_log2)  # weakly not-taken
+        self.history = 0
+
+    def _index(self, pc: int) -> int:
+        return (pc ^ self.history) & self._index_mask
+
+    def predict(self, pc: int) -> bool:
+        return self.table[self._index(pc)] >= 2
+
+    def update(self, pc: int, taken: bool) -> None:
+        index = self._index(pc)
+        value = self.table[index]
+        if taken and value < 3:
+            self.table[index] = value + 1
+        elif not taken and value > 0:
+            self.table[index] = value - 1
+        self.history = ((self.history << 1) | (1 if taken else 0)) \
+            & self._history_mask
+
+    def storage_bits(self) -> int:
+        return len(self.table) * 2 + self.history_bits

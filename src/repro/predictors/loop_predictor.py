@@ -1,0 +1,93 @@
+"""Loop predictor (the "L" of TAGE-SC-L).
+
+Detects branches with constant trip counts and predicts the loop exit — the
+one case a counter/history predictor systematically misses.  Entries learn a
+trip count and gain confidence each time the same count repeats; once
+confident, the predictor supplies "taken until iteration == trip count".
+"""
+
+from __future__ import annotations
+
+
+class _LoopEntry:
+    __slots__ = ("tag", "past_iter", "current_iter", "confidence", "direction",
+                 "age")
+
+    def __init__(self):
+        self.tag = -1
+        self.past_iter = 0
+        self.current_iter = 0
+        self.confidence = 0
+        self.direction = True  # direction taken while iterating
+        self.age = 0
+
+
+class LoopPredictor:
+    """Set of loop entries indexed by PC.
+
+    ``predict`` returns ``(valid, direction)``; callers use the direction
+    only when ``valid``.  ``update`` trains with the resolved outcome.
+    """
+
+    CONFIDENCE_MAX = 3
+    AGE_MAX = 7
+
+    def __init__(self, size_log2: int = 6, tag_bits: int = 14):
+        self._mask = (1 << size_log2) - 1
+        self._tag_mask = (1 << tag_bits) - 1
+        self.entries = [_LoopEntry() for _ in range(1 << size_log2)]
+        self.size_log2 = size_log2
+        self.tag_bits = tag_bits
+
+    def _lookup(self, pc: int):
+        entry = self.entries[pc & self._mask]
+        tag = (pc >> self.size_log2) & self._tag_mask
+        return entry, tag
+
+    def predict(self, pc: int):
+        """Return ``(valid, direction)`` for the branch at ``pc``."""
+        entry, tag = self._lookup(pc)
+        if entry.tag != tag or entry.confidence < self.CONFIDENCE_MAX:
+            return False, False
+        if entry.current_iter == entry.past_iter:
+            return True, not entry.direction  # predict the exit
+        return True, entry.direction
+
+    def update(self, pc: int, taken: bool) -> None:
+        entry, tag = self._lookup(pc)
+        if entry.tag != tag:
+            # allocate if the current occupant has aged out
+            if entry.age == 0:
+                entry.tag = tag
+                entry.past_iter = 0
+                entry.current_iter = 0
+                entry.confidence = 0
+                entry.direction = taken
+                entry.age = self.AGE_MAX
+            else:
+                entry.age -= 1
+            return
+
+        if taken == entry.direction:
+            entry.current_iter += 1
+            if entry.past_iter and entry.current_iter > entry.past_iter:
+                # ran past the learned trip count: not a fixed-trip loop
+                entry.confidence = 0
+                entry.past_iter = 0
+                entry.current_iter = 0
+        else:
+            # loop exit observed
+            if entry.current_iter == entry.past_iter and entry.past_iter > 0:
+                if entry.confidence < self.CONFIDENCE_MAX:
+                    entry.confidence += 1
+                if entry.age < self.AGE_MAX:
+                    entry.age += 1
+            else:
+                entry.past_iter = entry.current_iter
+                entry.confidence = 0
+            entry.current_iter = 0
+
+    def storage_bits(self) -> int:
+        # tag + past/current iteration (14b each) + confidence + direction + age
+        per_entry = self.tag_bits + 14 + 14 + 2 + 1 + 3
+        return len(self.entries) * per_entry

@@ -1,0 +1,74 @@
+"""Perceptron branch predictor (Jimenez & Lin, HPCA 2001).
+
+Included as a classic history-based baseline (the paper cites perceptron
+predictors [19] among the history-based family that data-dependent
+branches defeat).  Each branch hashes to a weight vector; the prediction
+is the sign of the dot product with the global history, trained on
+mispredictions or low-confidence outputs.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.predictors.base import BranchPredictor
+
+
+class PerceptronPredictor(BranchPredictor):
+    """Global-history perceptron with the standard threshold training."""
+
+    name = "perceptron"
+
+    def __init__(self, num_perceptrons: int = 512, history_bits: int = 24,
+                 weight_bits: int = 8):
+        self.num_perceptrons = num_perceptrons
+        self.history_bits = history_bits
+        self._weight_max = (1 << (weight_bits - 1)) - 1
+        self._weight_min = -(1 << (weight_bits - 1))
+        #: Jimenez's empirically optimal training threshold.
+        self.threshold = int(1.93 * history_bits + 14)
+        # weights[i][0] is the bias weight; [1..h] pair with history bits
+        self.weights: List[List[int]] = [
+            [0] * (history_bits + 1) for _ in range(num_perceptrons)
+        ]
+        self._history: List[int] = [1] * history_bits  # +1/-1 encoding
+        self._last_output = 0
+        self._last_index = 0
+
+    def _index(self, pc: int) -> int:
+        return pc % self.num_perceptrons
+
+    def predict(self, pc: int) -> bool:
+        index = self._index(pc)
+        weights = self.weights[index]
+        output = weights[0]
+        history = self._history
+        for position in range(self.history_bits):
+            output += weights[position + 1] * history[position]
+        self._last_output = output
+        self._last_index = index
+        return output >= 0
+
+    def update(self, pc: int, taken: bool) -> None:
+        index = self._index(pc)
+        if index != self._last_index:
+            self.predict(pc)
+        output = self._last_output
+        predicted = output >= 0
+        target = 1 if taken else -1
+        if predicted != taken or abs(output) <= self.threshold:
+            weights = self.weights[index]
+            weights[0] = self._clip(weights[0] + target)
+            history = self._history
+            for position in range(self.history_bits):
+                delta = target * history[position]
+                weights[position + 1] = self._clip(
+                    weights[position + 1] + delta)
+        self._history.insert(0, target)
+        self._history.pop()
+
+    def _clip(self, value: int) -> int:
+        return max(self._weight_min, min(self._weight_max, value))
+
+    def storage_bits(self) -> int:
+        return self.num_perceptrons * (self.history_bits + 1) * 8

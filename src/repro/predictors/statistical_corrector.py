@@ -1,0 +1,104 @@
+"""Statistical corrector (the "SC" of TAGE-SC-L).
+
+A GEHL-style adder tree: several tables of signed counters indexed by PC
+hashed with global histories of different (short) lengths, plus a bias table
+conditioned on the TAGE prediction.  When the weighted sum disagrees with
+TAGE confidently enough (adaptive threshold), the SC flips the prediction.
+This catches statistically biased branches that TAGE's tagged matching
+handles poorly.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.predictors.counters import FoldedHistory, HistoryBuffer
+
+
+class StatisticalCorrector:
+    """O-GEHL-like corrector with an adaptive use threshold."""
+
+    COUNTER_MAX = 31
+    COUNTER_MIN = -32
+
+    def __init__(self, history_lengths: Sequence[int] = (2, 4, 8, 16, 27),
+                 table_size_log2: int = 10):
+        self.history_lengths = list(history_lengths)
+        self.table_size_log2 = table_size_log2
+        self._mask = (1 << table_size_log2) - 1
+        size = 1 << table_size_log2
+        self.tables: List[List[int]] = [
+            [0] * size for _ in self.history_lengths
+        ]
+        self.bias = [0] * (2 << table_size_log2)  # indexed by (pc, tage_pred)
+        max_history = max(self.history_lengths)
+        self._history = HistoryBuffer(max_history + 2)
+        self._folds = [FoldedHistory(length, table_size_log2)
+                       for length in self.history_lengths]
+        self.threshold = 6
+        self._threshold_counter = 0
+
+    def _indices(self, pc: int) -> List[int]:
+        return [(pc ^ fold.comp ^ (pc >> 3)) & self._mask
+                for fold in self._folds]
+
+    def _bias_index(self, pc: int, tage_pred: bool) -> int:
+        return ((pc << 1) | (1 if tage_pred else 0)) & (len(self.bias) - 1)
+
+    def compute_sum(self, pc: int, tage_pred: bool) -> int:
+        """Centered sum of all corrector counters (positive = taken)."""
+        total = 2 * self.bias[self._bias_index(pc, tage_pred)] + 1
+        for table, index in zip(self.tables, self._indices(pc)):
+            total += 2 * table[index] + 1
+        # fold the TAGE direction in, as the reference SC does
+        total += 8 if tage_pred else -8
+        return total
+
+    def should_override(self, total: int, tage_pred: bool) -> bool:
+        """Whether the SC sum is confident enough to override TAGE."""
+        sc_pred = total >= 0
+        return sc_pred != tage_pred and abs(total) >= self.threshold
+
+    def update(self, pc: int, taken: bool, tage_pred: bool,
+               total: int) -> None:
+        sc_pred = total >= 0
+        used = self.should_override(total, tage_pred)
+        # adaptive threshold (O-GEHL style): adjust when SC is near-threshold
+        if sc_pred != tage_pred and abs(total) < 2 * self.threshold:
+            if sc_pred == taken:
+                self._threshold_counter -= 1
+                if self._threshold_counter <= -4:
+                    self._threshold_counter = 0
+                    if self.threshold > 4:
+                        self.threshold -= 1
+            else:
+                self._threshold_counter += 1
+                if self._threshold_counter >= 4:
+                    self._threshold_counter = 0
+                    if self.threshold < 31:
+                        self.threshold += 1
+        # train counters when the sum is weak or the final answer was wrong
+        final_pred = sc_pred if used else tage_pred
+        if final_pred != taken or abs(total) < 4 * self.threshold:
+            direction = 1 if taken else -1
+            bias_index = self._bias_index(pc, tage_pred)
+            value = self.bias[bias_index] + direction
+            self.bias[bias_index] = max(self.COUNTER_MIN,
+                                        min(self.COUNTER_MAX, value))
+            for table, index in zip(self.tables, self._indices(pc)):
+                value = table[index] + direction
+                table[index] = max(self.COUNTER_MIN,
+                                   min(self.COUNTER_MAX, value))
+        self._push_history(taken)
+
+    def _push_history(self, taken: bool) -> None:
+        new_bit = 1 if taken else 0
+        old_bits = [self._history.bit(length - 1)
+                    for length in self.history_lengths]
+        self._history.push(taken)
+        for fold, old_bit in zip(self._folds, old_bits):
+            fold.update(new_bit, old_bit)
+
+    def storage_bits(self) -> int:
+        counters = sum(len(table) for table in self.tables) + len(self.bias)
+        return counters * 6

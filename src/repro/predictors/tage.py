@@ -1,0 +1,310 @@
+"""TAGE: TAgged GEometric history length predictor (Seznec).
+
+A faithful-in-structure implementation of the TAGE component used by
+TAGE-SC-L (CBP-2016 winner): a bimodal base predictor plus ``N`` tagged
+tables indexed with geometrically increasing global-history lengths, with
+useful-bit managed allocation, alt-prediction on newly allocated entries,
+and incrementally folded histories for O(1) per-branch hashing.
+
+Storage is parameterized so the 64KB, 80KB, and "unlimited" MTAGE
+configurations of the paper are all instances of this class (see
+:mod:`repro.predictors.tage_scl` and :mod:`repro.predictors.mtage`).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.predictors.base import BranchPredictor
+from repro.predictors.counters import FoldedHistory, HistoryBuffer, Lfsr
+
+
+def geometric_history_lengths(count: int, minimum: int, maximum: int) -> List[int]:
+    """The classic TAGE geometric series of history lengths."""
+    if count == 1:
+        return [minimum]
+    ratio = (maximum / minimum) ** (1.0 / (count - 1))
+    lengths = []
+    for i in range(count):
+        length = int(round(minimum * ratio ** i))
+        if lengths and length <= lengths[-1]:
+            length = lengths[-1] + 1
+        lengths.append(length)
+    return lengths
+
+
+class TageConfig:
+    """Sizing knobs for a TAGE instance."""
+
+    def __init__(self,
+                 num_tables: int = 12,
+                 table_size_log2: int = 11,
+                 tag_bits: int = 11,
+                 counter_bits: int = 3,
+                 useful_bits: int = 2,
+                 min_history: int = 4,
+                 max_history: int = 640,
+                 base_size_log2: int = 15,
+                 useful_reset_period: int = 1 << 16):
+        self.num_tables = num_tables
+        self.table_size_log2 = table_size_log2
+        self.tag_bits = tag_bits
+        self.counter_bits = counter_bits
+        self.useful_bits = useful_bits
+        self.min_history = min_history
+        self.max_history = max_history
+        self.base_size_log2 = base_size_log2
+        self.useful_reset_period = useful_reset_period
+        self.history_lengths = geometric_history_lengths(
+            num_tables, min_history, max_history)
+
+    def storage_bits(self) -> int:
+        entry_bits = self.counter_bits + self.tag_bits + self.useful_bits
+        tagged = self.num_tables * (1 << self.table_size_log2) * entry_bits
+        base = (1 << self.base_size_log2) * 2
+        return tagged + base
+
+
+class _TaggedTable:
+    """One tagged component table with its folded-history registers."""
+
+    __slots__ = ("size_log2", "mask", "tag_mask", "history_length",
+                 "ctr", "tag", "useful", "f_index", "f_tag0", "f_tag1")
+
+    def __init__(self, size_log2: int, tag_bits: int, history_length: int):
+        size = 1 << size_log2
+        self.size_log2 = size_log2
+        self.mask = size - 1
+        self.tag_mask = (1 << tag_bits) - 1
+        self.history_length = history_length
+        self.ctr = [0] * size       # signed, counter_bits wide
+        self.tag = [0] * size
+        self.useful = [0] * size
+        self.f_index = FoldedHistory(history_length, size_log2)
+        self.f_tag0 = FoldedHistory(history_length, tag_bits)
+        self.f_tag1 = FoldedHistory(history_length, max(tag_bits - 1, 1))
+
+    def index(self, pc: int) -> int:
+        return (pc ^ (pc >> (self.size_log2 // 2 + 1))
+                ^ self.f_index.comp) & self.mask
+
+    def compute_tag(self, pc: int) -> int:
+        return (pc ^ self.f_tag0.comp ^ (self.f_tag1.comp << 1)) \
+            & self.tag_mask
+
+
+class TagePredictor(BranchPredictor):
+    """The TAGE predictor proper (no SC, no loop component)."""
+
+    name = "tage"
+
+    def __init__(self, config: Optional[TageConfig] = None):
+        self.config = config or TageConfig()
+        cfg = self.config
+        self._ctr_max = (1 << (cfg.counter_bits - 1)) - 1
+        self._ctr_min = -(1 << (cfg.counter_bits - 1))
+        self._useful_max = (1 << cfg.useful_bits) - 1
+        self.tables = [
+            _TaggedTable(cfg.table_size_log2, cfg.tag_bits, length)
+            for length in cfg.history_lengths
+        ]
+        base_size = 1 << cfg.base_size_log2
+        self._base = [1] * base_size  # 2-bit, weakly not-taken
+        self._base_mask = base_size - 1
+        self._history = HistoryBuffer(cfg.max_history + 2)
+        self._lfsr = Lfsr()
+        self._use_alt_on_na = 0  # 4-bit signed
+        self._tick = 0
+        # per-prediction context (filled by predict, consumed by update)
+        self._ctx_pc = -1
+        self._provider = -1
+        self._provider_index = -1
+        self._alt_provider = -1
+        self._alt_index = -1
+        self._provider_pred = False
+        self._alt_pred = False
+        self._final_pred = False
+        self._indices: List[int] = [0] * cfg.num_tables
+        self._tags: List[int] = [0] * cfg.num_tables
+
+    # -- prediction ---------------------------------------------------------
+
+    def base_predict(self, pc: int) -> bool:
+        return self._base[pc & self._base_mask] >= 2
+
+    def predict(self, pc: int) -> bool:
+        provider = -1
+        alt = -1
+        for i in range(len(self.tables) - 1, -1, -1):
+            table = self.tables[i]
+            index = table.index(pc)
+            tag = table.compute_tag(pc)
+            self._indices[i] = index
+            self._tags[i] = tag
+            if table.tag[index] == tag:
+                if provider < 0:
+                    provider = i
+                elif alt < 0:
+                    alt = i
+                    break
+        self._ctx_pc = pc
+        self._provider = provider
+        self._alt_provider = alt
+
+        if alt >= 0:
+            alt_table = self.tables[alt]
+            self._alt_index = self._indices[alt]
+            self._alt_pred = alt_table.ctr[self._alt_index] >= 0
+        else:
+            self._alt_index = -1
+            self._alt_pred = self.base_predict(pc)
+
+        if provider >= 0:
+            table = self.tables[provider]
+            index = self._indices[provider]
+            self._provider_index = index
+            ctr = table.ctr[index]
+            self._provider_pred = ctr >= 0
+            weak = ctr in (-1, 0)
+            if weak and self._use_alt_on_na >= 0:
+                self._final_pred = self._alt_pred
+            else:
+                self._final_pred = self._provider_pred
+        else:
+            self._provider_index = -1
+            self._provider_pred = self._alt_pred
+            self._final_pred = self._alt_pred
+        return self._final_pred
+
+    #: Confidence of the last prediction: True when the provider counter is
+    #: saturated-ish (used by the statistical corrector).
+    def last_confidence_high(self) -> bool:
+        if self._provider < 0:
+            return False
+        ctr = self.tables[self._provider].ctr[self._provider_index]
+        return ctr <= self._ctr_min + 1 or ctr >= self._ctr_max - 1
+
+    # -- update ---------------------------------------------------------------
+
+    def update(self, pc: int, taken: bool) -> None:
+        if pc != self._ctx_pc:
+            # predict() must precede update() for the same branch; recover by
+            # recomputing the prediction context.
+            self.predict(pc)
+        mispredicted = self._final_pred != taken
+
+        provider = self._provider
+        if provider >= 0:
+            table = self.tables[provider]
+            index = self._provider_index
+            # use_alt_on_na training: only when the provider entry was weak
+            ctr = table.ctr[index]
+            if ctr in (-1, 0) and self._provider_pred != self._alt_pred:
+                if self._alt_pred == taken:
+                    if self._use_alt_on_na < 7:
+                        self._use_alt_on_na += 1
+                elif self._use_alt_on_na > -8:
+                    self._use_alt_on_na -= 1
+            # useful bit: provider differed from alt and was right/wrong
+            if self._provider_pred != self._alt_pred:
+                if self._provider_pred == taken:
+                    if table.useful[index] < self._useful_max:
+                        table.useful[index] += 1
+                elif table.useful[index] > 0:
+                    table.useful[index] -= 1
+            # provider counter
+            if taken:
+                if ctr < self._ctr_max:
+                    table.ctr[index] = ctr + 1
+            elif ctr > self._ctr_min:
+                table.ctr[index] = ctr - 1
+            # train alt/base when provider entry is unreliable
+            if table.useful[index] == 0:
+                self._update_alt(pc, taken)
+        else:
+            self._update_base(pc, taken)
+
+        if mispredicted and provider < len(self.tables) - 1:
+            self._allocate(pc, taken, provider)
+
+        self._tick += 1
+        if self._tick % self.config.useful_reset_period == 0:
+            self._graceful_useful_reset()
+
+        self._push_history(taken)
+        self._ctx_pc = -1
+
+    def _update_alt(self, pc: int, taken: bool) -> None:
+        if self._alt_provider >= 0:
+            table = self.tables[self._alt_provider]
+            index = self._alt_index
+            ctr = table.ctr[index]
+            if taken:
+                if ctr < self._ctr_max:
+                    table.ctr[index] = ctr + 1
+            elif ctr > self._ctr_min:
+                table.ctr[index] = ctr - 1
+        else:
+            self._update_base(pc, taken)
+
+    def _update_base(self, pc: int, taken: bool) -> None:
+        index = pc & self._base_mask
+        value = self._base[index]
+        if taken:
+            if value < 3:
+                self._base[index] = value + 1
+        elif value > 0:
+            self._base[index] = value - 1
+
+    def _allocate(self, pc: int, taken: bool, provider: int) -> None:
+        """Allocate a new entry in a longer-history table on a mispredict."""
+        start = provider + 1
+        candidates = [i for i in range(start, len(self.tables))
+                      if self.tables[i].useful[self._indices[i]] == 0]
+        if not candidates:
+            # nothing free: age the useful bits of all longer tables
+            for i in range(start, len(self.tables)):
+                index = self._indices[i]
+                if self.tables[i].useful[index] > 0:
+                    self.tables[i].useful[index] -= 1
+            return
+        # prefer shorter histories, skipping each with probability 1/2
+        # (LFSR-driven), as in the reference TAGE implementation
+        chosen = candidates[0]
+        for i in candidates:
+            if self._lfsr.bits(1) == 0:
+                chosen = i
+                break
+        table = self.tables[chosen]
+        index = self._indices[chosen]
+        table.tag[index] = self._tags[chosen]
+        table.ctr[index] = 0 if taken else -1
+        table.useful[index] = 0
+
+    def _graceful_useful_reset(self) -> None:
+        """Alternately clear the high/low useful bit of every entry."""
+        phase = (self._tick // self.config.useful_reset_period) & 1
+        clear_mask = 1 if phase else ~1
+        for table in self.tables:
+            useful = table.useful
+            if phase:
+                for i, value in enumerate(useful):
+                    useful[i] = value & 1
+            else:
+                for i, value in enumerate(useful):
+                    useful[i] = value & clear_mask
+
+    def _push_history(self, taken: bool) -> None:
+        new_bit = 1 if taken else 0
+        # capture bits falling out of each window *before* pushing
+        old_bits = []
+        for table in self.tables:
+            old_bits.append(self._history.bit(table.history_length - 1))
+        self._history.push(taken)
+        for table, old_bit in zip(self.tables, old_bits):
+            table.f_index.update(new_bit, old_bit)
+            table.f_tag0.update(new_bit, old_bit)
+            table.f_tag1.update(new_bit, old_bit)
+
+    def storage_bits(self) -> int:
+        return self.config.storage_bits()

@@ -1,0 +1,106 @@
+"""TAGE-SC-L: the composed predictor used as the paper's baseline.
+
+Combines :class:`~repro.predictors.tage.TagePredictor`, the loop predictor,
+and the statistical corrector, in the standard priority order: TAGE provides
+the base prediction, a confident loop entry overrides it, and the SC may
+flip the result when its weighted sum is confident.
+
+Two storage points from the paper are provided as constructors:
+``tage_scl_64kb()`` (Table 1 baseline) and ``tage_scl_80kb()``
+(iso-storage-with-Mini-BR comparison in Figure 10).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.predictors.base import BranchPredictor
+from repro.predictors.loop_predictor import LoopPredictor
+from repro.predictors.statistical_corrector import StatisticalCorrector
+from repro.predictors.tage import TageConfig, TagePredictor
+
+
+class TageSCL(BranchPredictor):
+    """TAGE + Statistical Corrector + Loop predictor."""
+
+    name = "tage-sc-l"
+
+    def __init__(self,
+                 tage_config: Optional[TageConfig] = None,
+                 loop: Optional[LoopPredictor] = None,
+                 corrector: Optional[StatisticalCorrector] = None,
+                 name: Optional[str] = None):
+        self.tage = TagePredictor(tage_config)
+        self.loop = loop or LoopPredictor()
+        self.corrector = corrector or StatisticalCorrector()
+        if name:
+            self.name = name
+        self._ctx_pc = -1
+        self._tage_pred = False
+        self._sc_total = 0
+        self._final = False
+
+    def predict(self, pc: int) -> bool:
+        tage_pred = self.tage.predict(pc)
+        loop_valid, loop_pred = self.loop.predict(pc)
+        pred = loop_pred if loop_valid else tage_pred
+        total = self.corrector.compute_sum(pc, pred)
+        if self.corrector.should_override(total, pred):
+            pred = total >= 0
+        self._ctx_pc = pc
+        self._tage_pred = tage_pred
+        self._sc_total = total
+        self._final = pred
+        return pred
+
+    def update(self, pc: int, taken: bool) -> None:
+        if pc != self._ctx_pc:
+            self.predict(pc)
+        loop_valid, loop_pred = self.loop.predict(pc)
+        base_pred = loop_pred if loop_valid else self._tage_pred
+        self.corrector.update(pc, taken, base_pred, self._sc_total)
+        self.loop.update(pc, taken)
+        self.tage.update(pc, taken)
+        self._ctx_pc = -1
+
+    def storage_bits(self) -> int:
+        return (self.tage.storage_bits() + self.loop.storage_bits()
+                + self.corrector.storage_bits())
+
+
+def tage_scl_64kb() -> TageSCL:
+    """The paper's baseline: 64KB TAGE-SC-L (CBP-2016 limited category)."""
+    config = TageConfig(
+        num_tables=12,
+        table_size_log2=11,
+        tag_bits=11,
+        min_history=4,
+        max_history=640,
+        base_size_log2=14,
+    )
+    predictor = TageSCL(
+        tage_config=config,
+        loop=LoopPredictor(size_log2=6),
+        corrector=StatisticalCorrector(table_size_log2=10),
+        name="tage-sc-l-64kb",
+    )
+    return predictor
+
+
+def tage_scl_80kb() -> TageSCL:
+    """An 80KB TAGE-SC-L: iso-storage with 64KB baseline + Mini BR (~16KB)."""
+    config = TageConfig(
+        num_tables=14,
+        table_size_log2=11,
+        tag_bits=12,
+        min_history=4,
+        max_history=1024,
+        base_size_log2=15,
+    )
+    predictor = TageSCL(
+        tage_config=config,
+        loop=LoopPredictor(size_log2=7),
+        corrector=StatisticalCorrector(table_size_log2=11),
+        name="tage-sc-l-80kb",
+    )
+    return predictor

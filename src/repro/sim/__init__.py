@@ -1,0 +1,26 @@
+"""Simulation driver, results, experiment helpers."""
+
+from repro.sim.results import (
+    ComparisonRow,
+    SimulationResult,
+    arithmetic_mean,
+    geometric_mean,
+    ipc_improvement,
+    mpki_improvement,
+    weighted_average,
+)
+from repro.sim.simulator import simulate
+from repro.sim import experiments, sweeps
+
+__all__ = [
+    "ComparisonRow",
+    "SimulationResult",
+    "arithmetic_mean",
+    "geometric_mean",
+    "ipc_improvement",
+    "mpki_improvement",
+    "weighted_average",
+    "simulate",
+    "experiments",
+    "sweeps",
+]

@@ -1,0 +1,131 @@
+"""Experiment runner for the benchmark harness.
+
+Provides the variant matrix the paper's figures are built from, with a
+per-process result cache so several benches in one pytest session reuse
+runs.  Region length is controlled by ``REPRO_INSTRUCTIONS`` /
+``REPRO_WARMUP`` environment variables (defaults keep the full harness in
+the minutes range; the paper used 200M-instruction SimPoints, far beyond a
+pure-Python budget — see DESIGN.md §3).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.core import config as br_config
+from repro.predictors.mtage import mtage_sc
+from repro.predictors.tage_scl import tage_scl_64kb, tage_scl_80kb
+from repro.sim.results import SimulationResult
+from repro.sim.simulator import simulate
+from repro.workloads import suite
+
+#: Region length knobs (instructions measured / warmed up per benchmark).
+REGION_INSTRUCTIONS = int(os.environ.get("REPRO_INSTRUCTIONS", "12000"))
+REGION_WARMUP = int(os.environ.get("REPRO_WARMUP", "6000"))
+
+
+def _baseline_kwargs():
+    return dict(predictor=tage_scl_64kb())
+
+
+#: Named variants: each returns simulate() kwargs.
+VARIANTS: Dict[str, Callable[[], dict]] = {
+    "tage64": _baseline_kwargs,
+    "tage80": lambda: dict(predictor=tage_scl_80kb()),
+    "mtage": lambda: dict(predictor=mtage_sc()),
+    "core_only": lambda: dict(predictor=tage_scl_64kb(),
+                              br_config=br_config.core_only()),
+    "mini": lambda: dict(predictor=tage_scl_64kb(),
+                         br_config=br_config.mini()),
+    "big": lambda: dict(predictor=tage_scl_64kb(),
+                        br_config=br_config.big()),
+    "mtage+big": lambda: dict(predictor=mtage_sc(),
+                              br_config=br_config.big()),
+    "mini-nonspec": lambda: dict(
+        predictor=tage_scl_64kb(),
+        br_config=br_config.mini(
+            initiation_mode=br_config.NON_SPECULATIVE)),
+    "mini-indep": lambda: dict(
+        predictor=tage_scl_64kb(),
+        br_config=br_config.mini(
+            initiation_mode=br_config.INDEPENDENT_EARLY)),
+    "mini-oracle-merge": lambda: dict(
+        predictor=tage_scl_64kb(),
+        br_config=br_config.mini(),
+        track_merge_oracle=True),
+}
+
+_cache: Dict[Tuple, SimulationResult] = {}
+
+
+def run(benchmark: str, variant: str,
+        instructions: Optional[int] = None,
+        warmup: Optional[int] = None,
+        br_overrides: Optional[dict] = None) -> SimulationResult:
+    """Run (or fetch from cache) one benchmark under one variant.
+
+    ``br_overrides`` tweaks the variant's BranchRunaheadConfig (used by the
+    Figure 13 sweeps); overridden runs are cached under their own key.
+    """
+    instructions = instructions or REGION_INSTRUCTIONS
+    warmup = warmup if warmup is not None else REGION_WARMUP
+    override_key = tuple(sorted(br_overrides.items())) if br_overrides \
+        else ()
+    key = (benchmark, variant, instructions, warmup, override_key)
+    if key in _cache:
+        return _cache[key]
+
+    kwargs = VARIANTS[variant]()
+    if br_overrides:
+        config = kwargs.get("br_config")
+        if config is None:
+            raise ValueError(f"variant {variant!r} has no BR config to "
+                             f"override")
+        for attr, value in br_overrides.items():
+            if not hasattr(config, attr):
+                raise AttributeError(f"unknown BR config field {attr!r}")
+            setattr(config, attr, value)
+    program = suite.load(benchmark)
+    result = simulate(program, instructions=instructions, warmup=warmup,
+                      **kwargs)
+    _cache[key] = result
+    return result
+
+
+def run_all(variant: str, benchmarks=None, **kwargs):
+    """Run a variant over the benchmark list; returns {name: result}."""
+    names = benchmarks or suite.BENCHMARK_NAMES
+    return {name: run(name, variant, **kwargs) for name in names}
+
+
+def hard_branch_accuracy(result: SimulationResult, count: int = 32
+                         ) -> Tuple[float, float]:
+    """Figure 1 helper: (predictor, chain) accuracy on the hardest branches.
+
+    Branch hardness is ranked by baseline-predictor mispredictions within
+    this run.  The chain accuracy covers validated chain values (falling
+    back to the run's predictor accuracy for uncovered branches).
+    """
+    core = result.core
+    hard = core.hardest_branches(count)
+    if not hard:
+        return 1.0, 1.0
+    executed = sum(core.branch_counts[pc] for pc in hard)
+    mispredicted = sum(core.branch_mispredicts[pc] for pc in hard)
+    predictor_accuracy = 1.0 - mispredicted / max(executed, 1)
+    if result.runahead is None:
+        return predictor_accuracy, predictor_accuracy
+    checks = correct = 0
+    stats = result.runahead.stats
+    for pc in hard:
+        pc_checks = stats.value_checks.get(pc, 0)
+        if pc_checks:
+            checks += pc_checks
+            correct += stats.value_correct.get(pc, 0)
+        else:
+            # uncovered branch: chains never ran; score the predictor
+            checks += core.branch_counts[pc]
+            correct += core.branch_counts[pc] - core.branch_mispredicts[pc]
+    chain_accuracy = correct / max(checks, 1)
+    return predictor_accuracy, chain_accuracy

@@ -1,0 +1,115 @@
+"""Result containers and metric arithmetic.
+
+The paper's headline metrics: IPC, branch MPKI, *MPKI improvement* (the
+reduction relative to the TAGE-SC-L baseline, normalized to the baseline),
+and *IPC improvement*.  Benchmarks aggregate per-workload numbers with
+geometric (IPC) and arithmetic (MPKI) means, as the paper does.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List
+
+from repro.uarch.stats import CoreStats
+
+
+class SimulationResult:
+    """Everything produced by one simulated region."""
+
+    def __init__(self, program_name: str, core: CoreStats, hierarchy=None,
+                 predictor=None, runahead=None):
+        self.program_name = program_name
+        self.core = core
+        self.hierarchy = hierarchy
+        self.predictor = predictor
+        self.runahead = runahead
+
+    @property
+    def ipc(self) -> float:
+        return self.core.ipc
+
+    @property
+    def mpki(self) -> float:
+        return self.core.mpki
+
+    @property
+    def dce(self):
+        return self.runahead.dce.stats if self.runahead else None
+
+    def total_uops_issued(self) -> int:
+        """Core + DCE uops (Figure 3 numerator)."""
+        extra = self.dce.uops_executed if self.dce else 0
+        return self.core.instructions + extra
+
+    def total_loads_issued(self) -> int:
+        extra = self.dce.loads_executed if self.dce else 0
+        return self.core.loads + extra
+
+    def summary(self) -> str:
+        text = f"{self.program_name}: {self.core.summary()}"
+        if self.runahead is not None:
+            dce = self.runahead.dce.stats
+            text += (f" | DCE uops={dce.uops_executed}"
+                     f" syncs={dce.syncs}"
+                     f" chains={len(self.runahead.chain_cache)}")
+        return text
+
+
+def mpki_improvement(baseline_mpki: float, new_mpki: float) -> float:
+    """Relative MPKI reduction in percent (positive = fewer mispredicts)."""
+    if baseline_mpki <= 0:
+        return 0.0
+    return 100.0 * (baseline_mpki - new_mpki) / baseline_mpki
+
+def ipc_improvement(baseline_ipc: float, new_ipc: float) -> float:
+    """Relative IPC gain in percent."""
+    if baseline_ipc <= 0:
+        return 0.0
+    return 100.0 * (new_ipc - baseline_ipc) / baseline_ipc
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    values = [max(value, 1e-12) for value in values]
+    if not values:
+        return 0.0
+    return math.exp(sum(math.log(value) for value in values) / len(values))
+
+
+def arithmetic_mean(values: Iterable[float]) -> float:
+    values = list(values)
+    return sum(values) / len(values) if values else 0.0
+
+
+def weighted_average(values: List[float], weights: List[float]) -> float:
+    """SimPoint-style weighted average across regions/inputs."""
+    if not values:
+        return 0.0
+    total_weight = sum(weights)
+    if total_weight <= 0:
+        return arithmetic_mean(values)
+    return sum(v * w for v, w in zip(values, weights)) / total_weight
+
+
+class ComparisonRow:
+    """One benchmark's baseline-vs-variant comparison."""
+
+    def __init__(self, name: str, baseline: SimulationResult,
+                 variant: SimulationResult):
+        self.name = name
+        self.baseline = baseline
+        self.variant = variant
+
+    @property
+    def mpki_improvement(self) -> float:
+        return mpki_improvement(self.baseline.mpki, self.variant.mpki)
+
+    @property
+    def ipc_improvement(self) -> float:
+        return ipc_improvement(self.baseline.ipc, self.variant.ipc)
+
+    def __repr__(self) -> str:
+        return (f"{self.name}: MPKI {self.baseline.mpki:.2f} -> "
+                f"{self.variant.mpki:.2f} ({self.mpki_improvement:+.1f}%), "
+                f"IPC {self.baseline.ipc:.3f} -> {self.variant.ipc:.3f} "
+                f"({self.ipc_improvement:+.1f}%)")

@@ -1,0 +1,154 @@
+"""SimPoint-style region selection (Perelman et al., SIGMETRICS 2003).
+
+The paper's methodology (§5.1): "We use the SimPoints methodology to
+identify anywhere between one to five representative regions per
+benchmark" and weights each region's metrics by cluster population.
+
+This module implements the same pipeline over our kernels: slice the
+dynamic stream into fixed-length intervals, build a Basic Block Vector
+(BBV: execution frequency of each branch-delimited region) per interval,
+cluster the BBVs with k-means, and return one representative interval per
+cluster plus its weight.  Our kernels are intentionally phase-stable, so
+selection usually collapses to one or two regions — the machinery matters
+for phased workloads (e.g. ``stress_many`` or user-authored kernels).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.emulator.machine import Machine
+from repro.isa.program import Program
+
+
+class Interval:
+    """One fixed-length slice of the dynamic stream with its BBV."""
+
+    def __init__(self, index: int, start_instruction: int, bbv: np.ndarray):
+        self.index = index
+        self.start_instruction = start_instruction
+        self.bbv = bbv
+
+
+class SimPoint:
+    """A selected representative region."""
+
+    def __init__(self, interval: Interval, weight: float, cluster: int):
+        self.interval = interval
+        self.weight = weight
+        self.cluster = cluster
+
+    @property
+    def start_instruction(self) -> int:
+        return self.interval.start_instruction
+
+    def __repr__(self) -> str:
+        return (f"SimPoint(start={self.start_instruction}, "
+                f"weight={self.weight:.3f}, cluster={self.cluster})")
+
+
+def collect_bbvs(program: Program, total_instructions: int,
+                 interval_length: int) -> List[Interval]:
+    """Slice the committed stream into intervals with basic-block vectors.
+
+    Basic blocks are identified by their leader PC (the target of a taken
+    branch or the fall-through after any branch), the standard BBV
+    construction.
+    """
+    machine = Machine(program)
+    block_ids: Dict[int, int] = {}
+    raw_vectors: List[Dict[int, int]] = []
+    current: Dict[int, int] = {}
+    block_leader = 0
+    block_length = 0
+    executed = 0
+    starts = [0]
+
+    for record in machine.stream(total_instructions):
+        block_length += 1
+        executed += 1
+        if record.uop.is_branch or record.next_pc != record.pc + 1:
+            block_id = block_ids.setdefault(block_leader, len(block_ids))
+            current[block_id] = current.get(block_id, 0) + block_length
+            block_leader = record.next_pc
+            block_length = 0
+        if executed % interval_length == 0:
+            raw_vectors.append(current)
+            current = {}
+            starts.append(executed)
+
+    num_blocks = max(len(block_ids), 1)
+    intervals = []
+    for index, raw in enumerate(raw_vectors):
+        bbv = np.zeros(num_blocks)
+        for block_id, count in raw.items():
+            bbv[block_id] = count
+        total = bbv.sum()
+        if total > 0:
+            bbv /= total
+        intervals.append(Interval(index, starts[index], bbv))
+    return intervals
+
+
+def _kmeans(vectors: np.ndarray, k: int, iterations: int = 25,
+            seed: int = 42) -> np.ndarray:
+    """Plain k-means returning a cluster label per vector."""
+    rng = np.random.default_rng(seed)
+    count = len(vectors)
+    centroids = vectors[rng.choice(count, size=k, replace=False)].copy()
+    labels = np.zeros(count, dtype=int)
+    for _ in range(iterations):
+        distances = ((vectors[:, None, :] - centroids[None, :, :]) ** 2
+                     ).sum(axis=2)
+        new_labels = distances.argmin(axis=1)
+        if (new_labels == labels).all():
+            break
+        labels = new_labels
+        for cluster in range(k):
+            members = vectors[labels == cluster]
+            if len(members):
+                centroids[cluster] = members.mean(axis=0)
+    return labels
+
+
+def select_simpoints(program: Program,
+                     total_instructions: int = 60_000,
+                     interval_length: int = 10_000,
+                     max_clusters: int = 5) -> List[SimPoint]:
+    """Pick up to ``max_clusters`` representative regions with weights.
+
+    Weights are cluster populations normalized to 1 (the paper's weighted
+    average uses exactly these).
+    """
+    intervals = collect_bbvs(program, total_instructions, interval_length)
+    if not intervals:
+        raise ValueError("no complete intervals; increase the budget")
+    vectors = np.stack([interval.bbv for interval in intervals])
+    k = min(max_clusters, len(intervals))
+    labels = _kmeans(vectors, k)
+
+    simpoints = []
+    for cluster in range(k):
+        member_indices = np.flatnonzero(labels == cluster)
+        if len(member_indices) == 0:
+            continue
+        members = vectors[member_indices]
+        centroid = members.mean(axis=0)
+        distances = ((members - centroid) ** 2).sum(axis=1)
+        representative = intervals[member_indices[distances.argmin()]]
+        weight = len(member_indices) / len(intervals)
+        simpoints.append(SimPoint(representative, weight, cluster))
+    simpoints.sort(key=lambda point: -point.weight)
+    return simpoints
+
+
+def weighted_metric(simpoints: List[SimPoint],
+                    per_region_values: List[float]) -> float:
+    """The paper's weighted average over the selected regions."""
+    total = sum(point.weight for point in simpoints)
+    if total <= 0:
+        return 0.0
+    return sum(point.weight * value
+               for point, value in zip(simpoints, per_region_values)) / total

@@ -1,0 +1,74 @@
+"""Top-level simulation driver.
+
+``simulate()`` wires a workload program to the functional emulator, the
+out-of-order core, the memory hierarchy, the baseline predictor, and
+(optionally) Branch Runahead, runs a region, and returns a
+:class:`~repro.sim.results.SimulationResult`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.core.config import BranchRunaheadConfig
+from repro.core.runahead import BranchRunahead
+from repro.emulator.machine import Machine
+from repro.isa.program import Program
+from repro.memsys.hierarchy import HierarchyConfig, MemoryHierarchy
+from repro.predictors.base import BranchPredictor
+from repro.predictors.tage_scl import tage_scl_64kb
+from repro.sim.results import SimulationResult
+from repro.uarch.config import CoreConfig
+from repro.uarch.core import CoreModel
+
+
+def simulate(program: Program,
+             instructions: int = 40_000,
+             warmup: int = 10_000,
+             start_instruction: int = 0,
+             predictor: Optional[BranchPredictor] = None,
+             predictor_factory: Optional[Callable[[], BranchPredictor]] = None,
+             br_config: Optional[BranchRunaheadConfig] = None,
+             core_config: Optional[CoreConfig] = None,
+             hierarchy_config: Optional[HierarchyConfig] = None,
+             track_merge_oracle: bool = False) -> SimulationResult:
+    """Run one region of ``program`` and collect every statistic.
+
+    ``warmup`` instructions run first with full training but are excluded
+    from reported counts.  ``start_instruction`` fast-forwards the program
+    functionally before timing begins (SimPoint-style region simulation).
+    Passing ``br_config`` attaches Branch Runahead; ``predictor`` defaults
+    to a fresh 64KB TAGE-SC-L.
+    """
+    if predictor is None:
+        predictor = predictor_factory() if predictor_factory \
+            else tage_scl_64kb()
+    machine = Machine(program)
+    for _ in range(start_instruction):
+        if machine.step() is None:
+            break
+    hierarchy = MemoryHierarchy(hierarchy_config)
+    core_config = core_config or CoreConfig()
+    core = CoreModel(config=core_config, hierarchy=hierarchy,
+                     predictor=predictor)
+    runahead = None
+    if br_config is not None:
+        runahead = BranchRunahead(
+            br_config, program, machine.memory, hierarchy,
+            core.dcache_ports,
+            core_alus=core.alus if br_config.share_core_alus else None,
+            retire_width=core_config.retire_width,
+            track_merge_oracle=track_merge_oracle)
+        core.runahead = runahead
+
+    total = instructions + warmup
+    core_stats = core.run(machine.stream(total), warmup=warmup,
+                          initial_regs=machine.regs if start_instruction
+                          else None)
+    return SimulationResult(
+        program_name=program.name,
+        core=core_stats,
+        hierarchy=hierarchy,
+        predictor=predictor,
+        runahead=runahead,
+    )

@@ -1,0 +1,60 @@
+"""Parameter sweeps (Figure 13).
+
+Each sweep varies one Branch Runahead structure from the Mini configuration
+up to the Big configuration and reports MPKI improvement *relative to
+Mini*, isolating that parameter's contribution.  The paper ran sweeps on
+shorter regions (10M vs 200M instructions); we do the same proportionally.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Sequence
+
+from repro.sim import experiments
+from repro.sim.results import arithmetic_mean, mpki_improvement
+
+#: Figure 13's six swept parameters and their value ladders
+#: (Mini value first, Big-level value last).
+SWEEPS: Dict[str, List] = {
+    "chain_cache_entries": [8, 16, 32, 64, 256, 1024],
+    "prediction_queue_entries": [2, 8, 32, 64, 256, 1024],
+    "ceb_entries": [64, 128, 256, 512, 2048],
+    "window_slots": [4, 16, 64, 128, 256, 1024],
+    "hbt_entries": [8, 16, 64, 256, 1024],
+    "max_chain_length": [2, 4, 8, 16, 32, 128],
+}
+
+#: Shorter regions for the many sweep simulations (paper footnote 16).
+SWEEP_INSTRUCTIONS = int(os.environ.get("REPRO_SWEEP_INSTRUCTIONS", "6000"))
+SWEEP_WARMUP = int(os.environ.get("REPRO_SWEEP_WARMUP", "4000"))
+
+
+def sweep_parameter(parameter: str, benchmarks: Sequence[str],
+                    values: Sequence = None) -> Dict[object, float]:
+    """Mean MPKI improvement vs Mini for each value of ``parameter``."""
+    values = values if values is not None else SWEEPS[parameter]
+    reference = {
+        name: experiments.run(name, "mini",
+                              instructions=SWEEP_INSTRUCTIONS,
+                              warmup=SWEEP_WARMUP)
+        for name in benchmarks
+    }
+    series: Dict[object, float] = {}
+    for value in values:
+        overrides = {parameter: value}
+        if parameter == "prediction_queue_entries":
+            # the queue bounds how far chains run ahead; scale the eager
+            # production cap with it so the sweep actually exercises depth
+            overrides["runahead_limit"] = min(int(value), 32)
+        improvements = []
+        for name in benchmarks:
+            result = experiments.run(
+                name, "mini",
+                instructions=SWEEP_INSTRUCTIONS,
+                warmup=SWEEP_WARMUP,
+                br_overrides=overrides)
+            improvements.append(
+                mpki_improvement(reference[name].mpki, result.mpki))
+        series[value] = arithmetic_mean(improvements)
+    return series

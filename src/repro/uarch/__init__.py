@@ -1,0 +1,17 @@
+"""Out-of-order core timing model (Scarab substitute)."""
+
+from repro.uarch.config import CoreConfig
+from repro.uarch.core import CoreModel, RunaheadHooks
+from repro.uarch.lsq import StoreForwarder
+from repro.uarch.resources import FuTracker, RingTracker
+from repro.uarch.stats import CoreStats
+
+__all__ = [
+    "CoreConfig",
+    "CoreModel",
+    "RunaheadHooks",
+    "StoreForwarder",
+    "FuTracker",
+    "RingTracker",
+    "CoreStats",
+]

@@ -1,0 +1,37 @@
+"""Core configuration (paper Table 1 defaults).
+
+4-wide issue, 256-entry ROB, 92-entry reservation station, 3.2 GHz, 64KB
+TAGE-SC-L.  The memory hierarchy is configured separately in
+:class:`repro.memsys.hierarchy.HierarchyConfig`.
+"""
+
+from __future__ import annotations
+
+
+class CoreConfig:
+    """Out-of-order core sizing and latency knobs."""
+
+    def __init__(self,
+                 fetch_width: int = 4,
+                 retire_width: int = 4,
+                 rob_size: int = 256,
+                 rs_size: int = 92,
+                 num_alus: int = 4,
+                 num_dcache_ports: int = 2,
+                 frontend_depth: int = 6,
+                 mispredict_penalty: int = 6,
+                 freq_ghz: float = 3.2,
+                 wpb_max_distance: int = 100):
+        self.fetch_width = fetch_width
+        self.retire_width = retire_width
+        self.rob_size = rob_size
+        self.rs_size = rs_size
+        self.num_alus = num_alus
+        self.num_dcache_ports = num_dcache_ports
+        #: Fetch-to-dispatch pipeline depth in cycles.
+        self.frontend_depth = frontend_depth
+        #: Extra cycles between branch resolution and correct-path refetch.
+        self.mispredict_penalty = mispredict_penalty
+        self.freq_ghz = freq_ghz
+        #: Maximum merge-point distance for the WPB ROB-walk (§4.4: 100 uops).
+        self.wpb_max_distance = wpb_max_distance

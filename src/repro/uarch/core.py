@@ -1,0 +1,246 @@
+"""Out-of-order core timing model (the Scarab substitute).
+
+A scoreboard-style model: one in-order pass over the committed dynamic uop
+stream computes, for every uop, its fetch / dispatch / issue / complete /
+retire cycles under the configured resource limits (fetch width, ROB, RS,
+ALUs, D-cache ports, memory hierarchy latencies).  Wrong-path *timing* is
+modeled with a front-end redirect penalty tied to branch resolution; wrong
+path *content* (needed by the merge-point predictor) is produced on demand
+by the Branch Runahead hooks via shadow execution.
+
+Branch Runahead attaches through the :class:`RunaheadHooks` protocol; the
+core itself stays mechanism-agnostic, exactly as the paper's Figure 6 draws
+the DCE alongside (not inside) the pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Tuple
+
+from repro.emulator.trace import DynamicUop
+from repro.isa.registers import NUM_ARCH_REGS
+from repro.memsys.hierarchy import MemoryHierarchy
+from repro.memsys.port import PortTracker
+from repro.predictors.base import BranchPredictor
+from repro.uarch.config import CoreConfig
+from repro.uarch.lsq import StoreForwarder
+from repro.uarch.resources import FuTracker, RingTracker
+from repro.uarch.stats import CoreStats
+
+
+class RunaheadHooks:
+    """Interface Branch Runahead implements to attach to the core.
+
+    The default implementations are no-ops, so the baseline core runs with a
+    ``RunaheadHooks()`` (or ``None``) attachment.
+    """
+
+    def fetch_prediction(self, pc: int, fetch_cycle: int,
+                         tage_pred: bool) -> Tuple[bool, str]:
+        """Final direction for the branch at ``pc`` plus its source.
+
+        Returns ``(prediction, source)`` with source ``"dce"`` when a
+        prediction-queue entry overrides the baseline predictor, else
+        ``"tage"``.
+        """
+        return tage_pred, "tage"
+
+    def on_branch_resolved(self, record: DynamicUop, resolve_cycle: int,
+                           mispredicted: bool, regs, wrong_path_budget: int
+                           ) -> None:
+        """Called when a conditional branch resolves in the backend."""
+
+    def on_retire(self, record: DynamicUop, retire_cycle: int,
+                  mispredicted: bool, regs) -> None:
+        """Called as each uop retires, in program order."""
+
+    def end_region(self, cycle: int) -> None:
+        """Called once after the last instruction of a region."""
+
+
+class CoreModel:
+    """The 4-wide out-of-order core of Table 1."""
+
+    def __init__(self,
+                 config: Optional[CoreConfig] = None,
+                 hierarchy: Optional[MemoryHierarchy] = None,
+                 predictor: Optional[BranchPredictor] = None,
+                 runahead: Optional[RunaheadHooks] = None):
+        self.config = config or CoreConfig()
+        self.hierarchy = hierarchy or MemoryHierarchy()
+        self.predictor = predictor
+        self.runahead = runahead or RunaheadHooks()
+        cfg = self.config
+        self.alus = FuTracker(cfg.num_alus)
+        self.dcache_ports = PortTracker(cfg.num_dcache_ports)
+        self.rob = RingTracker(cfg.rob_size)
+        self.rs = RingTracker(cfg.rs_size)
+        self.forwarder = StoreForwarder()
+        self.stats = CoreStats()
+        #: Architectural register file as of the last retired uop; Branch
+        #: Runahead copies chain live-ins from here (the "physical register
+        #: file" read of §4.1).
+        self.retired_regs = [0] * NUM_ARCH_REGS
+        # fetch state
+        self._next_fetch_cycle = 0
+        self._fetch_slots_used = 0
+        # retire state
+        self._last_retire_cycle = 0
+        self._retired_in_cycle = 0
+        # register availability
+        self._reg_ready = [0] * NUM_ARCH_REGS
+        self._issued_uops = 0
+
+    # -- public entry -----------------------------------------------------
+
+    def run(self, stream: Iterable[DynamicUop], warmup: int = 0,
+            initial_regs=None) -> CoreStats:
+        """Simulate the committed stream; return region statistics.
+
+        The first ``warmup`` instructions train predictors/caches but are
+        excluded from the reported statistics.  When the stream starts
+        mid-program (SimPoint regions), pass the machine's architectural
+        registers as ``initial_regs`` so the retired register file — the
+        source of chain live-ins — reflects state produced before the
+        region.
+        """
+        if initial_regs is not None:
+            self.retired_regs = list(initial_regs)
+        count = 0
+        warmup_end_cycle = 0
+        for record in stream:
+            self._process(record)
+            count += 1
+            if count == warmup:
+                warmup_end_cycle = self._last_retire_cycle
+                self._reset_stats()
+        self.stats.instructions = count - warmup if count > warmup else count
+        self.stats.cycles = max(1, self._last_retire_cycle - warmup_end_cycle)
+        self.runahead.end_region(self._last_retire_cycle)
+        return self.stats
+
+    def _reset_stats(self) -> None:
+        preserved_regs = self.retired_regs
+        self.stats = CoreStats()
+        self.retired_regs = preserved_regs
+
+    # -- per-instruction pipeline -------------------------------------------
+
+    def _process(self, record: DynamicUop) -> None:
+        cfg = self.config
+        op = record.uop
+
+        # ---- fetch -------------------------------------------------------
+        if self._fetch_slots_used >= cfg.fetch_width:
+            self._next_fetch_cycle += 1
+            self._fetch_slots_used = 0
+        fetch_cycle = self._next_fetch_cycle
+        icache_done = self.hierarchy.access_insn(record.pc, fetch_cycle)
+        if icache_done > fetch_cycle + self.hierarchy.config.l1_latency:
+            fetch_cycle = icache_done
+            self._next_fetch_cycle = fetch_cycle
+            self._fetch_slots_used = 0
+        self._fetch_slots_used += 1
+
+        # ---- branch prediction at fetch ------------------------------------
+        mispredicted = False
+        source = "tage"
+        if op.is_cond_branch:
+            self.stats.cond_branches += 1
+            self.stats.branch_counts[record.pc] += 1
+            if record.taken:
+                self.stats.taken_branches += 1
+            if self.predictor is not None:
+                tage_pred = self.predictor.predict(record.pc)
+            else:
+                tage_pred = record.taken  # perfect baseline when absent
+            final_pred, source = self.runahead.fetch_prediction(
+                record.pc, fetch_cycle, tage_pred)
+            if source == "dce":
+                self.stats.dce_predictions_used += 1
+            mispredicted = final_pred != record.taken
+            if self.predictor is not None:
+                self.predictor.update(record.pc, record.taken)
+            if mispredicted:
+                self.stats.mispredicts += 1
+                self.stats.branch_mispredicts[record.pc] += 1
+
+        # ---- dispatch -------------------------------------------------------
+        dispatch = fetch_cycle + cfg.frontend_depth
+        dispatch = self.rob.earliest_free(dispatch)
+        dispatch = self.rs.earliest_free(dispatch)
+
+        # ---- issue & execute -------------------------------------------------
+        ready = dispatch
+        for src in op.src_regs:
+            src_ready = self._reg_ready[src]
+            if src_ready > ready:
+                ready = src_ready
+        issue = self.alus.acquire(ready)
+        self._issued_uops += 1
+
+        if op.is_load:
+            self.stats.loads += 1
+            self.dcache_ports.use_core(issue)
+            complete = self.forwarder.try_forward(record.addr, issue)
+            if complete < 0:
+                complete = self.hierarchy.access_data(record.addr, issue)
+        elif op.is_store:
+            self.stats.stores += 1
+            complete = issue + 1
+            self.forwarder.record_store(record.addr, complete)
+        else:
+            complete = issue + op.latency
+
+        for dst in op.dst_regs:
+            self._reg_ready[dst] = complete
+
+        # ---- branch resolution / redirect ------------------------------------
+        if op.is_cond_branch:
+            if mispredicted:
+                resume = complete + cfg.mispredict_penalty
+                if resume > self._next_fetch_cycle:
+                    self._next_fetch_cycle = resume
+                    self._fetch_slots_used = 0
+            budget = min(cfg.wpb_max_distance,
+                         max(8, (complete - fetch_cycle) * cfg.fetch_width))
+            self.runahead.on_branch_resolved(
+                record, complete, mispredicted, self.retired_regs, budget)
+        if op.is_branch and record.taken and not mispredicted:
+            # a taken branch (predicted or unconditional) ends the fetch group
+            self._next_fetch_cycle = max(self._next_fetch_cycle,
+                                         fetch_cycle + 1)
+            self._fetch_slots_used = cfg.fetch_width
+
+        # ---- retire (in order) -----------------------------------------------
+        retire = complete + 1
+        if retire < self._last_retire_cycle:
+            retire = self._last_retire_cycle
+        if retire == self._last_retire_cycle:
+            if self._retired_in_cycle >= cfg.retire_width:
+                retire += 1
+                self._retired_in_cycle = 0
+        else:
+            self._retired_in_cycle = 0
+        self._retired_in_cycle += 1
+        self._last_retire_cycle = retire
+
+        self.rob.allocate(retire)
+        self.rs.allocate(issue + 1)
+
+        # stores write the D-cache at retire
+        if op.is_store:
+            self.dcache_ports.use_core(retire)
+            self.hierarchy.access_data(record.addr, retire, is_write=True)
+
+        # ---- architectural state + retire hooks --------------------------------
+        for dst in op.dst_regs:
+            self.retired_regs[dst] = record.dst_value
+        self.runahead.on_retire(record, retire, mispredicted,
+                                self.retired_regs)
+
+        # periodic pruning of per-cycle trackers
+        if record.seq & 0x3FF == 0:
+            low_water = max(0, fetch_cycle - 512)
+            self.alus.prune(low_water)
+            self.dcache_ports.prune(low_water)

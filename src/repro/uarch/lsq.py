@@ -1,0 +1,36 @@
+"""Store-to-load forwarding for the timing model.
+
+Because the committed stream carries exact effective addresses, memory
+dependences are known precisely: a load whose address matches a recent store
+gets the store's data by forwarding (no cache access) once the store's data
+is ready.  The table is bounded to approximate a real store queue.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+
+class StoreForwarder:
+    """Bounded address -> data-ready-cycle map for recent stores."""
+
+    def __init__(self, capacity: int = 64, forward_latency: int = 1):
+        self.capacity = capacity
+        self.forward_latency = forward_latency
+        self._stores: OrderedDict[int, int] = OrderedDict()
+        self.forwards = 0
+
+    def record_store(self, address: int, data_ready_cycle: int) -> None:
+        if address in self._stores:
+            del self._stores[address]
+        elif len(self._stores) >= self.capacity:
+            self._stores.popitem(last=False)
+        self._stores[address] = data_ready_cycle
+
+    def try_forward(self, address: int, issue_cycle: int) -> int:
+        """Return the forwarded completion cycle, or -1 if no match."""
+        ready = self._stores.get(address, -1)
+        if ready < 0:
+            return -1
+        self.forwards += 1
+        return max(issue_cycle, ready) + self.forward_latency

@@ -1,0 +1,75 @@
+"""Execution-resource trackers for the scoreboard timing model.
+
+The core model is a single in-order pass over the committed stream that
+computes per-instruction stage timestamps; these helpers impose the resource
+limits (functional units, ROB/RS occupancy) on those timestamps.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+
+class FuTracker:
+    """Per-cycle usage counter for a pool of identical functional units.
+
+    ``acquire(cycle)`` returns the first cycle >= ``cycle`` with a free unit
+    and books it.  Shared between the core's ALU pool and, in the Core-Only
+    Branch Runahead configuration, the DCE (which inherits the core's pool).
+    """
+
+    def __init__(self, count: int, horizon: int = 64):
+        if count < 1:
+            raise ValueError("need at least one functional unit")
+        self.count = count
+        self.horizon = horizon
+        self._usage: Dict[int, int] = {}
+        self._prune_mark = 0
+        self.total_acquired = 0
+
+    def acquire(self, cycle: int) -> int:
+        usage = self._usage
+        for candidate in range(cycle, cycle + self.horizon):
+            if usage.get(candidate, 0) < self.count:
+                usage[candidate] = usage.get(candidate, 0) + 1
+                self.total_acquired += 1
+                return candidate
+        self.total_acquired += 1
+        return cycle + self.horizon
+
+    def prune(self, below_cycle: int) -> None:
+        if below_cycle - self._prune_mark < 8192:
+            return
+        self._usage = {cycle: used for cycle, used in self._usage.items()
+                       if cycle >= below_cycle}
+        self._prune_mark = below_cycle
+
+
+class RingTracker:
+    """Fixed-capacity in-order structure (ROB or RS occupancy).
+
+    Stores the cycle at which each of the last ``capacity`` allocations
+    releases its entry; an allocation ``i`` cannot proceed before allocation
+    ``i - capacity`` has released.
+    """
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._release: List[int] = [0] * capacity
+        self._next = 0
+        self.stall_events = 0
+
+    def earliest_free(self, cycle: int) -> int:
+        """Earliest cycle >= ``cycle`` at which a slot is available."""
+        oldest = self._release[self._next]
+        if oldest > cycle:
+            self.stall_events += 1
+            return oldest
+        return cycle
+
+    def allocate(self, release_cycle: int) -> None:
+        """Record that the newly allocated slot frees at ``release_cycle``."""
+        self._release[self._next] = release_cycle
+        self._next = (self._next + 1) % self.capacity

@@ -1,0 +1,50 @@
+"""Statistics collected by the core timing model."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict
+
+
+class CoreStats:
+    """Counters accumulated over one simulated region."""
+
+    def __init__(self):
+        self.instructions = 0
+        self.cycles = 0
+        self.cond_branches = 0
+        self.mispredicts = 0
+        self.taken_branches = 0
+        self.loads = 0
+        self.stores = 0
+        #: Per-PC conditional branch execution / misprediction counts.
+        self.branch_counts: Dict[int, int] = defaultdict(int)
+        self.branch_mispredicts: Dict[int, int] = defaultdict(int)
+        #: Predictions served by the DCE prediction queues (vs TAGE).
+        self.dce_predictions_used = 0
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def mpki(self) -> float:
+        if not self.instructions:
+            return 0.0
+        return 1000.0 * self.mispredicts / self.instructions
+
+    def branch_accuracy(self) -> float:
+        if not self.cond_branches:
+            return 1.0
+        return 1.0 - self.mispredicts / self.cond_branches
+
+    def hardest_branches(self, count: int = 32):
+        """PCs of the most-mispredicted branches (Figure 1's 'hard' set)."""
+        ranked = sorted(self.branch_mispredicts.items(),
+                        key=lambda item: item[1], reverse=True)
+        return [pc for pc, _ in ranked[:count]]
+
+    def summary(self) -> str:
+        return (f"{self.instructions} instrs, {self.cycles} cycles, "
+                f"IPC={self.ipc:.3f}, MPKI={self.mpki:.2f}, "
+                f"branch acc={self.branch_accuracy() * 100:.2f}%")

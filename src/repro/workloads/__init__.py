@@ -1,0 +1,23 @@
+"""Workloads: 17 synthetic kernels mirroring the paper's benchmark set."""
+
+from repro.workloads.graphs import CsrGraph, edge_list, uniform_random_graph
+from repro.workloads.suite import (
+    BENCHMARK_NAMES,
+    BENCHMARKS,
+    Benchmark,
+    get,
+    load,
+    names,
+)
+
+__all__ = [
+    "CsrGraph",
+    "edge_list",
+    "uniform_random_graph",
+    "BENCHMARK_NAMES",
+    "BENCHMARKS",
+    "Benchmark",
+    "get",
+    "load",
+    "names",
+]

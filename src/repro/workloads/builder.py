@@ -1,0 +1,58 @@
+"""Shared helpers for authoring workload kernels.
+
+Every kernel follows the same contract: an endless outer loop (regions can
+be cut at any instruction budget), one or more *hard* data-dependent
+branches whose outcome is computable by a short backward slice, and enough
+surrounding structure (predictable loop control, address arithmetic, a live
+accumulator) to make the pipeline behave realistically.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import List
+
+import numpy as np
+
+from repro.isa.program import ProgramBuilder
+
+#: Seed base so every kernel is deterministic but decorrelated.
+GLOBAL_SEED = 0xB5A9
+
+
+def rng_for(name: str) -> np.random.Generator:
+    """Deterministic per-kernel RNG (stable across processes/runs)."""
+    digest = zlib.crc32(name.encode("utf-8"))
+    return np.random.default_rng(GLOBAL_SEED ^ (digest & 0xFFFF))
+
+
+def random_words(rng: np.random.Generator, count: int, low: int,
+                 high: int) -> List[int]:
+    """Uniform random data array for data-dependent branches."""
+    return [int(v) for v in rng.integers(low, high, count)]
+
+
+def advance_index(b: ProgramBuilder, reg: int, mask: int,
+                  mult: int = 5, add: int = 997) -> None:
+    """Emit an in-ISA LCG step: ``reg = (reg * mult + add) & mask``.
+
+    Gives kernels a pseudo-random but slice-computable walk over their data
+    (the walk itself becomes part of the dependence chain, as in the paper's
+    leela example where the neighbour offset load feeds the branch).
+
+    ``mult`` must be ``1 mod 4`` and ``add`` odd so the LCG has full period
+    over the power-of-two range — a short cycle would let TAGE memorize the
+    "random" walk and erase the benchmark's hard branches.
+    """
+    if mult % 4 != 1 or add % 2 != 1:
+        raise ValueError("full-period LCG needs mult % 4 == 1 and odd add")
+    b.muli(reg, reg, mult)
+    b.addi(reg, reg, add)
+    b.andi(reg, reg, mask)
+
+
+def sequential_index(b: ProgramBuilder, reg: int, mask: int,
+                     stride: int = 1) -> None:
+    """Emit ``reg = (reg + stride) & mask`` — a streaming walk."""
+    b.addi(reg, reg, stride)
+    b.andi(reg, reg, mask)

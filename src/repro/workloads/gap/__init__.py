@@ -1,0 +1,1 @@
+"""GAP Benchmark Suite-like graph kernels on synthetic CSR graphs."""

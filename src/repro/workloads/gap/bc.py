@@ -1,0 +1,86 @@
+"""bc: betweenness centrality dependency accumulation.
+
+The backward pass of Brandes' algorithm asks, per edge (u, v), whether v
+sits one BFS level below u (``depth[v] == depth[u] + 1``) and accumulates
+path dependencies when it does.  Depth and sigma come from a precomputed
+BFS over the synthetic graph, so the level test is pure graph data.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.isa.program import Program, ProgramBuilder
+from repro.workloads.graphs import edge_list, uniform_random_graph
+
+NUM_NODES = 1024
+AVG_DEGREE = 4
+
+
+def _bfs_depths(graph, source: int = 0):
+    depth = [-1] * graph.num_nodes
+    sigma = [0] * graph.num_nodes
+    depth[source] = 0
+    sigma[source] = 1
+    queue = deque([source])
+    while queue:
+        node = queue.popleft()
+        for neighbor in graph.neighbors(node):
+            if depth[neighbor] < 0:
+                depth[neighbor] = depth[node] + 1
+                queue.append(neighbor)
+            if depth[neighbor] == depth[node] + 1:
+                sigma[neighbor] += sigma[node]
+    # unreachable nodes get a sentinel level
+    depth = [d if d >= 0 else 99 for d in depth]
+    sigma = [max(s, 1) & 0xFFFF for s in sigma]
+    return depth, sigma
+
+
+def build() -> Program:
+    graph = uniform_random_graph(NUM_NODES, AVG_DEGREE, seed=61)
+    sources, targets, _ = edge_list(graph)
+    num_edges = len(sources)
+    depths, sigmas = _bfs_depths(graph)
+    b = ProgramBuilder("bc")
+    src = b.data("src", sources)
+    dst = b.data("dst", targets)
+    depth = b.data("depth", depths)
+    sigma = b.data("sigma", sigmas)
+    delta = b.zeros("delta", NUM_NODES)
+
+    srcr, dstr, depthr, sigmar, deltar, edge, u, v, du, dv, s, d, total = \
+        b.regs("src", "dst", "depth", "sigma", "delta", "edge", "u", "v",
+               "du", "dv", "s", "d", "total")
+    b.movi(srcr, src)
+    b.movi(dstr, dst)
+    b.movi(depthr, depth)
+    b.movi(sigmar, sigma)
+    b.movi(deltar, delta)
+    b.movi(edge, 0)
+    b.movi(total, 0)
+
+    b.label("accumulate")
+    b.ld(u, base=srcr, index=edge)
+    b.ld(v, base=dstr, index=edge)
+    b.ld(du, base=depthr, index=u)
+    b.ld(dv, base=depthr, index=v)
+    b.addi(du, du, 1)
+    b.cmp(dv, du)
+    b.br("ne", "off_tree")               # hard: is (u,v) a BFS-tree edge?
+    b.ld(s, base=sigmar, index=v)
+    b.cmpi(s, 4)
+    b.br("lt", "few_paths")              # hard (guarded): path count class
+    b.ld(d, base=deltar, index=u)
+    b.addi(d, d, 1)
+    b.andi(d, d, 0xFFFF)
+    b.st(d, base=deltar, index=u)
+    b.label("few_paths")
+    b.addi(total, total, 1)
+    b.label("off_tree")
+    b.addi(edge, edge, 1)
+    b.cmpi(edge, num_edges)
+    b.br("lt", "accumulate")
+    b.movi(edge, 0)
+    b.jmp("accumulate")
+    return b.build()

@@ -1,0 +1,88 @@
+"""bfs: breadth-first search, frontier-ordered visited test.
+
+Walks the precomputed BFS visit order of the graph (what a frontier queue
+would produce) and, for each neighbour of the current frontier node, tests
+"already visited this round?".  "Visited" is encoded as
+``mark[v] == round`` so incrementing ``round`` at the end of the traversal
+restarts the search with no clear loop.  On a uniform random graph roughly
+a quarter of edges discover a new node, so the visited test is an
+irregular ~75/25 branch driven purely by graph structure — GAP bfs's
+signature misprediction source.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import List
+
+from repro.isa.program import Program, ProgramBuilder
+from repro.workloads.graphs import uniform_random_graph
+
+NUM_NODES = 1024
+AVG_DEGREE = 4
+
+
+def _bfs_order(graph, source: int = 0) -> List[int]:
+    seen = [False] * graph.num_nodes
+    order = []
+    queue = deque([source])
+    seen[source] = True
+    while queue:
+        node = queue.popleft()
+        order.append(node)
+        for neighbor in graph.neighbors(node):
+            if not seen[neighbor]:
+                seen[neighbor] = True
+                queue.append(neighbor)
+    # append unreached nodes so the walk covers the whole graph
+    for node in range(graph.num_nodes):
+        if not seen[node]:
+            order.append(node)
+    return order
+
+
+def build() -> Program:
+    graph = uniform_random_graph(NUM_NODES, AVG_DEGREE, seed=11)
+    frontier_order = _bfs_order(graph)
+    b = ProgramBuilder("bfs")
+    frontier = b.data("frontier", frontier_order)
+    offsets = b.data("offsets", graph.offsets)
+    columns = b.data("columns", graph.columns)
+    mark = b.zeros("mark", NUM_NODES)
+
+    frontr, offr, colr, markr, fidx, u, v, ptr, end, mv, round_, found = \
+        b.regs("front", "off", "col", "mark", "fidx", "u", "v", "ptr", "end",
+               "mv", "round", "found")
+    b.movi(frontr, frontier)
+    b.movi(offr, offsets)
+    b.movi(colr, columns)
+    b.movi(markr, mark)
+    b.movi(fidx, 0)
+    b.movi(round_, 1)
+    b.movi(found, 0)
+
+    b.label("pop_frontier")
+    b.ld(u, base=frontr, index=fidx)         # next frontier node
+    b.st(round_, base=markr, index=u)        # mark it visited
+    b.ld(ptr, base=offr, index=u)
+    b.ld(end, base=offr, index=u, disp=1)
+    b.label("neighbours")
+    b.cmp(ptr, end)
+    b.br("ge", "frontier_done")              # degree-dependent loop bound
+    b.ld(v, base=colr, index=ptr)
+    b.ld(mv, base=markr, index=v)
+    b.cmp(mv, round_)
+    b.br("eq", "already_visited")            # hard: visited this round?
+    b.st(round_, base=markr, index=v)        # discover v
+    b.addi(found, found, 1)
+    b.label("already_visited")
+    b.addi(ptr, ptr, 1)
+    b.jmp("neighbours")
+    b.label("frontier_done")
+    b.addi(fidx, fidx, 1)
+    b.cmpi(fidx, NUM_NODES)
+    b.br("lt", "pop_frontier")
+    b.movi(fidx, 0)
+    b.addi(round_, round_, 1)                # restart: new round tag
+    b.jmp("pop_frontier")
+    return b.build()

@@ -1,0 +1,61 @@
+"""cc: connected components by label propagation.
+
+For each edge (u, v): if comp[u] < comp[v], lower v's label.  Labels are
+reinitialized (comp[i] = i + round) after each full edge sweep so the
+propagation branch never converges to a bias — each sweep re-runs the
+data-dependent comparison pattern GAP's cc is bound by.
+"""
+
+from __future__ import annotations
+
+from repro.isa.program import Program, ProgramBuilder
+from repro.workloads.graphs import edge_list, uniform_random_graph
+
+NUM_NODES = 1024
+AVG_DEGREE = 4
+
+
+def build() -> Program:
+    graph = uniform_random_graph(NUM_NODES, AVG_DEGREE, seed=23)
+    sources, targets, _ = edge_list(graph)
+    num_edges = len(sources)
+    b = ProgramBuilder("cc")
+    src = b.data("src", sources)
+    dst = b.data("dst", targets)
+    comp = b.data("comp", list(range(NUM_NODES)))
+
+    srcr, dstr, compr, edge, u, v, cu, cv, node, round_, hooks = b.regs(
+        "src", "dst", "comp", "edge", "u", "v", "cu", "cv", "node", "round",
+        "hooks")
+    b.movi(srcr, src)
+    b.movi(dstr, dst)
+    b.movi(compr, comp)
+    b.movi(edge, 0)
+    b.movi(round_, 0)
+    b.movi(hooks, 0)
+
+    b.label("sweep")
+    b.ld(u, base=srcr, index=edge)
+    b.ld(v, base=dstr, index=edge)
+    b.ld(cu, base=compr, index=u)
+    b.ld(cv, base=compr, index=v)
+    b.cmp(cu, cv)
+    b.br("ge", "no_hook")               # hard: label ordering
+    b.st(cu, base=compr, index=v)       # hook: lower v's label
+    b.addi(hooks, hooks, 1)
+    b.label("no_hook")
+    b.addi(edge, edge, 1)
+    b.cmpi(edge, num_edges)
+    b.br("lt", "sweep")
+    # reinitialize labels for the next sweep (predictable store loop)
+    b.movi(edge, 0)
+    b.addi(round_, round_, 1)
+    b.movi(node, 0)
+    b.label("reinit")
+    b.add(cu, node, round_)
+    b.st(cu, base=compr, index=node)
+    b.addi(node, node, 1)
+    b.cmpi(node, NUM_NODES)
+    b.br("lt", "reinit")
+    b.jmp("sweep")
+    return b.build()

@@ -1,0 +1,65 @@
+"""pr: PageRank contribution scatter.
+
+Edge-centric PageRank pushes ``rank[u] >> log2(degree[u])`` along each
+edge; the branch asks whether the contribution exceeds the convergence
+threshold (data-dependent on rank magnitudes), plus a dangling-node test.
+Division is replaced by a shift through a log-degree table, matching the
+DCE's integer-only uop set.
+"""
+
+from __future__ import annotations
+
+from repro.isa.program import Program, ProgramBuilder
+from repro.workloads.builder import random_words, rng_for
+from repro.workloads.graphs import edge_list, uniform_random_graph
+
+NUM_NODES = 1024
+AVG_DEGREE = 4
+THRESHOLD = 96
+
+
+def build() -> Program:
+    graph = uniform_random_graph(NUM_NODES, AVG_DEGREE, seed=43)
+    sources, targets, _ = edge_list(graph)
+    num_edges = len(sources)
+    rng = rng_for("pr")
+    log_degree = []
+    for node in range(NUM_NODES):
+        degree = max(1, graph.out_degree(node))
+        log_degree.append(max(1, degree.bit_length() - 1))
+    b = ProgramBuilder("pr")
+    src = b.data("src", sources)
+    dst = b.data("dst", targets)
+    logd = b.data("logd", log_degree)
+    rank = b.data("rank", random_words(rng, NUM_NODES, 0, 1024))
+
+    srcr, dstr, logdr, rankr, edge, u, v, r, sh, contrib, acc = b.regs(
+        "src", "dst", "logd", "rank", "edge", "u", "v", "r", "sh", "contrib",
+        "acc")
+    b.movi(srcr, src)
+    b.movi(dstr, dst)
+    b.movi(logdr, logd)
+    b.movi(rankr, rank)
+    b.movi(edge, 0)
+    b.movi(acc, 0)
+
+    b.label("scatter")
+    b.ld(u, base=srcr, index=edge)
+    b.ld(r, base=rankr, index=u)
+    b.ld(sh, base=logdr, index=u)
+    b.shr(contrib, r, sh)                # rank[u] / degree[u] (power of two)
+    b.cmpi(contrib, THRESHOLD)
+    b.br("le", "converged")              # hard: above threshold?
+    b.ld(v, base=dstr, index=edge)
+    b.ld(r, base=rankr, index=v)
+    b.add(r, r, contrib)
+    b.andi(r, r, 1023)                   # keep ranks bounded
+    b.st(r, base=rankr, index=v)
+    b.addi(acc, acc, 1)
+    b.label("converged")
+    b.addi(edge, edge, 1)
+    b.cmpi(edge, num_edges)
+    b.br("lt", "scatter")
+    b.movi(edge, 0)
+    b.jmp("scatter")
+    return b.build()

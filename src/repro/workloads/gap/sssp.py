@@ -1,0 +1,67 @@
+"""sssp: single-source shortest paths (Bellman-Ford edge relaxation).
+
+For each weighted edge (u, v, w): relax if ``dist[u] + w < dist[v]``.  The
+relaxation branch is the canonical data-dependent branch of GAP's sssp.
+Distances are rebased from a static noise array after each sweep so
+relaxations keep firing at a steady, unpredictable rate.
+"""
+
+from __future__ import annotations
+
+from repro.isa.program import Program, ProgramBuilder
+from repro.workloads.builder import random_words, rng_for
+from repro.workloads.graphs import edge_list, uniform_random_graph
+
+NUM_NODES = 1024
+AVG_DEGREE = 4
+
+
+def build() -> Program:
+    graph = uniform_random_graph(NUM_NODES, AVG_DEGREE, seed=31)
+    sources, targets, weights = edge_list(graph)
+    num_edges = len(sources)
+    rng = rng_for("sssp")
+    b = ProgramBuilder("sssp")
+    src = b.data("src", sources)
+    dst = b.data("dst", targets)
+    wgt = b.data("wgt", weights)
+    dist = b.data("dist", random_words(rng, NUM_NODES, 0, 4096))
+    noise = b.data("noise", random_words(rng, NUM_NODES, 0, 4096))
+
+    srcr, dstr, wgtr, distr, noiser, edge, u, v, du, dv, w, node, relaxed = \
+        b.regs("src", "dst", "wgt", "dist", "noise", "edge", "u", "v", "du",
+               "dv", "w", "node", "relaxed")
+    b.movi(srcr, src)
+    b.movi(dstr, dst)
+    b.movi(wgtr, wgt)
+    b.movi(distr, dist)
+    b.movi(noiser, noise)
+    b.movi(edge, 0)
+    b.movi(relaxed, 0)
+
+    b.label("relax")
+    b.ld(u, base=srcr, index=edge)
+    b.ld(v, base=dstr, index=edge)
+    b.ld(w, base=wgtr, index=edge)
+    b.ld(du, base=distr, index=u)
+    b.ld(dv, base=distr, index=v)
+    b.add(du, du, w)                     # tentative = dist[u] + w
+    b.cmp(du, dv)
+    b.br("ge", "no_relax")               # hard: does the edge relax?
+    b.st(du, base=distr, index=v)
+    b.addi(relaxed, relaxed, 1)
+    b.label("no_relax")
+    b.addi(edge, edge, 1)
+    b.cmpi(edge, num_edges)
+    b.br("lt", "relax")
+    # rebase distances from the noise array (keeps relaxations coming)
+    b.movi(edge, 0)
+    b.movi(node, 0)
+    b.label("rebase")
+    b.ld(du, base=noiser, index=node)
+    b.st(du, base=distr, index=node)
+    b.addi(node, node, 1)
+    b.cmpi(node, NUM_NODES)
+    b.br("lt", "rebase")
+    b.jmp("relax")
+    return b.build()

@@ -1,0 +1,65 @@
+"""tc: triangle counting by sorted adjacency-list intersection.
+
+Intersects the sorted neighbour lists of the endpoints of a pseudo-random
+edge with the classic two-pointer merge; all three merge branches
+(advance-left / advance-right / triangle) depend on graph structure, the
+GAP tc signature.
+"""
+
+from __future__ import annotations
+
+from repro.isa.program import Program, ProgramBuilder
+from repro.workloads.builder import advance_index
+from repro.workloads.graphs import uniform_random_graph
+
+NUM_NODES = 512
+AVG_DEGREE = 8
+
+
+def build() -> Program:
+    graph = uniform_random_graph(NUM_NODES, AVG_DEGREE, seed=53)
+    b = ProgramBuilder("tc")
+    offsets = b.data("offsets", graph.offsets)
+    columns = b.data("columns", graph.columns)
+
+    offr, colr, u, v, pa, pb, ea, eb, a, c, triangles, pick = b.regs(
+        "off", "col", "u", "v", "pa", "pb", "ea", "eb", "a", "c",
+        "triangles", "pick")
+    b.movi(offr, offsets)
+    b.movi(colr, columns)
+    b.movi(u, 0)
+    b.movi(pick, 0)
+    b.movi(triangles, 0)
+
+    b.label("next_pair")
+    # pick node u (LCG) and its first neighbour as v
+    advance_index(b, u, NUM_NODES - 1, mult=21, add=173)
+    b.ld(pa, base=offr, index=u)
+    b.ld(ea, base=offr, index=u, disp=1)
+    b.cmp(pa, ea)
+    b.br("ge", "next_pair")              # skip isolated nodes
+    b.ld(v, base=colr, index=pa)
+    b.ld(pb, base=offr, index=v)
+    b.ld(eb, base=offr, index=v, disp=1)
+
+    b.label("merge")
+    b.cmp(pa, ea)
+    b.br("ge", "next_pair")              # hard: left list exhausted?
+    b.cmp(pb, eb)
+    b.br("ge", "next_pair")              # hard: right list exhausted?
+    b.ld(a, base=colr, index=pa)
+    b.ld(c, base=colr, index=pb)
+    b.cmp(a, c)
+    b.br("lt", "advance_left")           # hard: 3-way merge order
+    b.br("gt", "advance_right")
+    b.addi(triangles, triangles, 1)      # common neighbour: a triangle
+    b.addi(pa, pa, 1)
+    b.addi(pb, pb, 1)
+    b.jmp("merge")
+    b.label("advance_left")
+    b.addi(pa, pa, 1)
+    b.jmp("merge")
+    b.label("advance_right")
+    b.addi(pb, pb, 1)
+    b.jmp("merge")
+    return b.build()

@@ -1,0 +1,68 @@
+"""Synthetic graph generation for the GAP kernels.
+
+The GAP Benchmark Suite runs on large Kronecker/uniform graphs; here we
+generate small uniform-random directed graphs in CSR form (row offsets +
+column indices + optional weights) sized to fit the simulated regions while
+keeping the branch behaviour — frontier membership, component labels,
+tentative distances are all data-dependent on graph structure.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+
+class CsrGraph:
+    """Compressed-sparse-row directed graph."""
+
+    def __init__(self, offsets: List[int], columns: List[int],
+                 weights: Optional[List[int]] = None):
+        self.offsets = offsets
+        self.columns = columns
+        self.weights = weights if weights is not None else [1] * len(columns)
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.offsets) - 1
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.columns)
+
+    def out_degree(self, node: int) -> int:
+        return self.offsets[node + 1] - self.offsets[node]
+
+    def neighbors(self, node: int) -> List[int]:
+        return self.columns[self.offsets[node]:self.offsets[node + 1]]
+
+
+def uniform_random_graph(num_nodes: int, avg_degree: int,
+                         seed: int = 7, max_weight: int = 64) -> CsrGraph:
+    """Erdos-Renyi-style directed graph with integer edge weights."""
+    rng = np.random.default_rng(seed)
+    adjacency: List[List[int]] = [[] for _ in range(num_nodes)]
+    num_edges = num_nodes * avg_degree
+    sources = rng.integers(0, num_nodes, num_edges)
+    targets = rng.integers(0, num_nodes, num_edges)
+    for u, v in zip(sources, targets):
+        if u != v:
+            adjacency[int(u)].append(int(v))
+    offsets = [0]
+    columns: List[int] = []
+    for node_list in adjacency:
+        node_list.sort()
+        columns.extend(node_list)
+        offsets.append(len(columns))
+    weights = [int(w) for w in rng.integers(1, max_weight, len(columns))]
+    return CsrGraph(offsets, columns, weights)
+
+
+def edge_list(graph: CsrGraph) -> Tuple[List[int], List[int], List[int]]:
+    """Flatten the CSR into parallel (src, dst, weight) arrays."""
+    sources: List[int] = []
+    for node in range(graph.num_nodes):
+        degree = graph.out_degree(node)
+        sources.extend([node] * degree)
+    return sources, list(graph.columns), list(graph.weights)

@@ -1,0 +1,1 @@
+"""SPEC CPU2006/2017 INT-like kernels (branch-misprediction intensive)."""

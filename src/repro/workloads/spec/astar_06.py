@@ -1,0 +1,56 @@
+"""astar_06: grid pathfinding neighbour relaxation.
+
+A* spends its time asking, per neighbour of the expanded cell, whether the
+tentative path cost beats the recorded one (``g + step < g[neighbour]``)
+and whether the cell is passable — both loads of map data the history
+cannot predict.  The neighbour loop itself is short and regular.
+"""
+
+from __future__ import annotations
+
+from repro.isa.program import Program, ProgramBuilder
+from repro.workloads.builder import advance_index, random_words, rng_for
+
+GRID = 4096
+
+
+def build() -> Program:
+    rng = rng_for("astar_06")
+    b = ProgramBuilder("astar_06")
+    passable = b.data("passable", random_words(rng, GRID, 0, 2))
+    gcost = b.data("gcost", random_words(rng, GRID, 0, 256))
+    # 8-connected grid (orthogonal + diagonal moves)
+    offsets = b.data("offsets", [1, -1, 64, -64, 63, 65, -63, -65])
+
+    passr, gr, offr, cell, i, neighbor, cost, temp, expanded, cand = b.regs(
+        "pass", "g", "off", "cell", "i", "nb", "cost", "temp", "expanded",
+        "cand")
+    b.movi(passr, passable)
+    b.movi(gr, gcost)
+    b.movi(offr, offsets)
+    b.movi(cell, 77)
+    b.movi(expanded, 0)
+
+    b.label("expand")
+    b.ld(cost, base=gr, index=cell)          # g of the expanded cell
+    b.movi(i, 0)
+    b.label("neighbours")
+    b.ld(temp, base=offr, index=i)
+    b.add(neighbor, cell, temp)
+    b.andi(neighbor, neighbor, GRID - 1)
+    b.ld(temp, base=passr, index=neighbor)
+    b.cmpi(temp, 0)
+    b.br("eq", "blocked")                    # hard: passable?
+    b.ld(temp, base=gr, index=neighbor)
+    b.addi(cand, cost, 1)
+    b.cmp(cand, temp)
+    b.br("ge", "no_improve")                 # hard: does the path improve?
+    b.addi(expanded, expanded, 1)
+    b.label("no_improve")
+    b.label("blocked")
+    b.addi(i, i, 1)
+    b.cmpi(i, 8)
+    b.br("lt", "neighbours")
+    advance_index(b, cell, GRID - 1, mult=13, add=709)
+    b.jmp("expand")
+    return b.build()

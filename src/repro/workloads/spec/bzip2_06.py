@@ -1,0 +1,43 @@
+"""bzip2_06: block-sort comparison loop.
+
+The Burrows-Wheeler sort compares rotated byte sequences; each comparison
+loads two bytes of (high-entropy) block data and branches on their order.
+A secondary branch counts runs (equal bytes), whose length is again data.
+"""
+
+from __future__ import annotations
+
+from repro.isa.program import Program, ProgramBuilder
+from repro.workloads.builder import advance_index, random_words, rng_for
+
+BLOCK = 8192
+
+
+def build() -> Program:
+    rng = rng_for("bzip2_06")
+    b = ProgramBuilder("bzip2_06")
+    block = b.data("block", random_words(rng, BLOCK, 0, 256))
+
+    blockr, i, j, a, c, greater, runs = b.regs(
+        "block", "i", "j", "a", "c", "greater", "runs")
+    b.movi(blockr, block)
+    b.movi(i, 0)
+    b.movi(j, BLOCK // 2)
+    b.movi(greater, 0)
+    b.movi(runs, 0)
+
+    b.label("compare")
+    b.ld(a, base=blockr, index=i)
+    b.ld(c, base=blockr, index=j)
+    b.cmp(a, c)
+    b.br("le", "not_greater")            # hard: byte order
+    b.addi(greater, greater, 1)
+    b.label("not_greater")
+    b.cmp(a, c)
+    b.br("ne", "no_run")                 # hard: equal-byte run
+    b.addi(runs, runs, 1)
+    b.label("no_run")
+    advance_index(b, i, BLOCK - 1, mult=5, add=811)
+    advance_index(b, j, BLOCK - 1, mult=9, add=409)
+    b.jmp("compare")
+    return b.build()

@@ -1,0 +1,54 @@
+"""deepsjeng_17: chess move-generation / evaluation inner loop.
+
+Scans squares of a board in a pseudo-random probe order; branches on the
+loaded piece code (empty / own / enemy) and, for enemy pieces, on an attack
+table entry.  Piece placement is random data, so the piece-type branches
+are data-dependent, while their slices (load + mask + compare) are short.
+"""
+
+from __future__ import annotations
+
+from repro.isa.program import Program, ProgramBuilder
+from repro.workloads.builder import advance_index, random_words, rng_for
+
+BOARD = 2048
+ATTACK = 2048
+
+
+def build() -> Program:
+    rng = rng_for("deepsjeng_17")
+    b = ProgramBuilder("deepsjeng_17")
+    board = b.data("board", random_words(rng, BOARD, 0, 13))  # piece codes
+    attack = b.data("attack", random_words(rng, ATTACK, 0, 4))
+
+    boardr, attackr, sq, piece, temp, score, mobility = b.regs(
+        "board", "attack", "sq", "piece", "temp", "score", "mobility")
+    b.movi(boardr, board)
+    b.movi(attackr, attack)
+    b.movi(sq, 0)
+    b.movi(score, 0)
+    b.movi(mobility, 0)
+
+    b.label("scan")
+    b.ld(piece, base=boardr, index=sq)
+    b.cmpi(piece, 0)
+    b.br("eq", "empty_square")        # hard: is the square empty?
+    b.cmpi(piece, 6)
+    b.br("le", "own_piece")           # hard: own vs enemy piece
+    # enemy piece: consult the attack table
+    b.ld(temp, base=attackr, index=sq)
+    b.cmpi(temp, 2)
+    b.br("lt", "not_attacked")        # hard: attacked?
+    b.addi(score, score, 3)
+    b.label("not_attacked")
+    b.addi(score, score, 1)
+    b.jmp("advance")
+    b.label("own_piece")
+    b.addi(mobility, mobility, 1)
+    b.jmp("advance")
+    b.label("empty_square")
+    b.addi(mobility, mobility, 2)
+    b.label("advance")
+    advance_index(b, sq, BOARD - 1, mult=9, add=389)
+    b.jmp("scan")
+    return b.build()

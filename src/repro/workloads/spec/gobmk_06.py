@@ -1,0 +1,51 @@
+"""gobmk_06: GO pattern matcher.
+
+Checks a 4-neighbour stone pattern around a pseudo-random board point:
+one data-dependent branch per neighbour (stone colour), plus a guarded
+liberty check when the first two tests pass.  Deeper guard nesting than
+leela, exercising multi-level guard chains.
+"""
+
+from __future__ import annotations
+
+from repro.isa.program import Program, ProgramBuilder
+from repro.workloads.builder import advance_index, random_words, rng_for
+
+BOARD = 4096
+
+
+def build() -> Program:
+    rng = rng_for("gobmk_06")
+    b = ProgramBuilder("gobmk_06")
+    board = b.data("board", random_words(rng, BOARD, 0, 3))  # 0/1/2 colours
+    liberties = b.data("lib", random_words(rng, BOARD, 0, 5))
+
+    boardr, libr, point, stone, temp, matches = b.regs(
+        "board", "lib", "point", "stone", "temp", "matches")
+    b.movi(boardr, board)
+    b.movi(libr, liberties)
+    b.movi(point, 200)
+    b.movi(matches, 0)
+
+    b.label("probe")
+    b.ld(stone, base=boardr, index=point)
+    b.cmpi(stone, 1)
+    b.br("ne", "no_match")                 # hard: our stone here?
+    b.addi(temp, point, 1)
+    b.andi(temp, temp, BOARD - 1)
+    b.ld(stone, base=boardr, index=temp)
+    b.cmpi(stone, 2)
+    b.br("ne", "no_match")                 # hard (guarded): enemy east?
+    b.addi(temp, point, 64)
+    b.andi(temp, temp, BOARD - 1)
+    b.ld(stone, base=boardr, index=temp)
+    b.cmpi(stone, 0)
+    b.br("ne", "no_match")                 # hard (guarded): empty south?
+    b.ld(temp, base=libr, index=point)
+    b.cmpi(temp, 2)
+    b.br("ge", "no_match")                 # hard (guarded): low liberties?
+    b.addi(matches, matches, 1)            # pattern fires
+    b.label("no_match")
+    advance_index(b, point, BOARD - 1, mult=13, add=641)
+    b.jmp("probe")
+    return b.build()

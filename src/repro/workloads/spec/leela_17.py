@@ -1,0 +1,55 @@
+"""leela_17: the paper's Figure 4 motivating kernel.
+
+A GO-board scan: for each of 8 neighbour offsets of a pseudo-random board
+position, branch A tests whether the square is empty (a load of random
+board content — unpredictable by history, trivially computable by its
+slice); branch B, guarded by A, inspects a second table (self-atari check).
+The position walk (LCG) makes consecutive outer iterations uncorrelated.
+"""
+
+from __future__ import annotations
+
+from repro.isa.program import Program, ProgramBuilder
+from repro.workloads.builder import advance_index, random_words, rng_for
+
+BOARD_SIZE = 4096
+EMPTY = 2
+
+
+def build() -> Program:
+    rng = rng_for("leela_17")
+    b = ProgramBuilder("leela_17")
+    board = b.data("board", random_words(rng, BOARD_SIZE, 0, 3))
+    aux = b.data("aux", random_words(rng, BOARD_SIZE, 0, 1 << 12))
+    offsets = b.data("offsets", [1, -1, 64, -64, 63, 65, -63, -65])
+
+    boardr, auxr, offsr, pos, i, sq, value, temp, work = b.regs(
+        "board", "aux", "offs", "pos", "i", "sq", "value", "temp", "work")
+    b.movi(boardr, board)
+    b.movi(auxr, aux)
+    b.movi(offsr, offsets)
+    b.movi(pos, 128)
+    b.movi(work, 0)
+
+    b.label("outer")
+    b.movi(i, 0)
+    b.label("inner")
+    b.ld(temp, base=offsr, index=i)
+    b.add(sq, pos, temp)
+    b.andi(sq, sq, BOARD_SIZE - 1)
+    b.ld(value, base=boardr, index=sq)
+    b.cmpi(value, EMPTY)
+    b.br("ne", "skip")          # Branch A: board[sq] == EMPTY
+    b.ld(temp, base=auxr, index=sq)
+    b.sari(temp, temp, 8)
+    b.andi(temp, temp, 7)
+    b.cmpi(temp, 1)
+    b.br("gt", "skip")          # Branch B: self-atari check (guarded by A)
+    b.addi(work, work, 1)       # do_work()
+    b.label("skip")
+    b.addi(i, i, 1)
+    b.cmpi(i, 8)
+    b.br("lt", "inner")
+    advance_index(b, pos, BOARD_SIZE - 1)
+    b.jmp("outer")
+    return b.build()

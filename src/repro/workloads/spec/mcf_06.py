@@ -1,0 +1,45 @@
+"""mcf_06: basis-tree pointer chase.
+
+The 2006 mcf walks linked node structures; each step loads the next node
+pointer and branches on that node's flow against a threshold.  Pointer
+chasing serializes the loads (high late-prediction pressure) and the flow
+test is pure data.
+"""
+
+from __future__ import annotations
+
+from repro.isa.program import Program, ProgramBuilder
+from repro.workloads.builder import random_words, rng_for
+
+NODES = 4096
+
+
+def build() -> Program:
+    rng = rng_for("mcf_06")
+    b = ProgramBuilder("mcf_06")
+    # single-cycle permutation: a random visit order chained into one ring,
+    # so the chase has period NODES (a short random cycle would let TAGE
+    # memorize the outcome sequence)
+    order = [int(v) for v in rng.permutation(NODES)]
+    nexts_list = [0] * NODES
+    for position in range(NODES):
+        nexts_list[order[position]] = order[(position + 1) % NODES]
+    nexts = b.data("next", nexts_list)
+    flow = b.data("flow", random_words(rng, NODES, 0, 128))
+
+    nextr, flowr, node, value, pushed = b.regs(
+        "next", "flow", "node", "value", "pushed")
+    b.movi(nextr, nexts)
+    b.movi(flowr, flow)
+    b.movi(node, 0)
+    b.movi(pushed, 0)
+
+    b.label("chase")
+    b.ld(node, base=nextr, index=node)      # node = next[node]
+    b.ld(value, base=flowr, index=node)
+    b.cmpi(value, 64)
+    b.br("lt", "below_threshold")           # hard: flow test
+    b.addi(pushed, pushed, 1)
+    b.label("below_threshold")
+    b.jmp("chase")
+    return b.build()

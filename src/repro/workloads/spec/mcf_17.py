@@ -1,0 +1,52 @@
+"""mcf_17: network-simplex arc pricing.
+
+The hot loop of mcf scans arcs computing reduced costs
+``cost[a] - pi[from[a]] + pi[to[a]]`` and branches on their sign.  The
+branch is data-dependent through a two-level indirection (arc endpoint ->
+node potential), giving the long-latency feeder loads that make mcf's
+predictions hard *and* often late (Figure 12).
+"""
+
+from __future__ import annotations
+
+from repro.isa.program import Program, ProgramBuilder
+from repro.workloads.builder import random_words, rng_for, sequential_index
+
+NUM_ARCS = 4096
+NUM_NODES = 1024
+
+
+def build() -> Program:
+    rng = rng_for("mcf_17")
+    b = ProgramBuilder("mcf_17")
+    cost = b.data("cost", random_words(rng, NUM_ARCS, -64, 64))
+    tail = b.data("tail", random_words(rng, NUM_ARCS, 0, NUM_NODES))
+    head = b.data("head", random_words(rng, NUM_ARCS, 0, NUM_NODES))
+    potential = b.data("pi", random_words(rng, NUM_NODES, -48, 48))
+
+    costr, tailr, headr, pir, arc, node, reduced, temp, basket = b.regs(
+        "cost", "tail", "head", "pi", "arc", "node", "reduced", "temp",
+        "basket")
+    b.movi(costr, cost)
+    b.movi(tailr, tail)
+    b.movi(headr, head)
+    b.movi(pir, potential)
+    b.movi(arc, 0)
+    b.movi(basket, 0)
+
+    b.label("price_loop")
+    b.ld(reduced, base=costr, index=arc)      # cost[arc]
+    b.ld(node, base=tailr, index=arc)         # from node
+    b.ld(temp, base=pir, index=node)          # pi[from]
+    b.sub(reduced, reduced, temp)
+    b.ld(node, base=headr, index=arc)         # to node
+    b.ld(temp, base=pir, index=node)          # pi[to]
+    b.add(reduced, reduced, temp)
+    b.cmpi(reduced, 0)
+    b.br("ge", "not_negative")                # hard: sign of reduced cost
+    b.addi(basket, basket, 1)                 # candidate arc found
+    b.andi(basket, basket, 0xFFFF)
+    b.label("not_negative")
+    sequential_index(b, arc, NUM_ARCS - 1)
+    b.jmp("price_loop")
+    return b.build()

@@ -1,0 +1,45 @@
+"""omnetpp_06: event scheduler readiness scan.
+
+Walks a ring of pending events comparing each event's timestamp against an
+advancing virtual clock: "is this event due?" is data-dependent on the
+random timestamps, with a moving threshold that defeats per-branch bias.
+"""
+
+from __future__ import annotations
+
+from repro.isa.program import Program, ProgramBuilder
+from repro.workloads.builder import random_words, rng_for, sequential_index
+
+EVENTS = 4096
+CLOCK_STEP = 1 << 18
+
+
+def build() -> Program:
+    rng = rng_for("omnetpp_06")
+    b = ProgramBuilder("omnetpp_06")
+    stamps = b.data("stamps", random_words(rng, EVENTS, 0, 1 << 20))
+    prio = b.data("prio", random_words(rng, EVENTS, 0, 4))
+
+    stampr, prior, event, stamp, now, p, fired = b.regs(
+        "stamps", "prio", "event", "stamp", "now", "p", "fired")
+    b.movi(stampr, stamps)
+    b.movi(prior, prio)
+    b.movi(event, 0)
+    b.movi(now, 1 << 19)
+    b.movi(fired, 0)
+
+    b.label("scan")
+    b.ld(stamp, base=stampr, index=event)
+    b.cmp(stamp, now)
+    b.br("gt", "not_due")                # hard: event due at current time?
+    b.ld(p, base=prior, index=event)
+    b.cmpi(p, 0)
+    b.br("eq", "not_due")                # hard (guarded): priority class
+    b.addi(fired, fired, 1)
+    b.label("not_due")
+    sequential_index(b, event, EVENTS - 1)
+    # advance the clock slowly so the due/not-due mix keeps shifting
+    b.addi(now, now, 3)
+    b.andi(now, now, (1 << 20) - 1)
+    b.jmp("scan")
+    return b.build()

@@ -1,0 +1,46 @@
+"""omnetpp_17: discrete-event simulator queue maintenance.
+
+The dominant branches of omnetpp compare event timestamps while sifting
+through the future-event set (a binary heap).  Timestamps are effectively
+random, so the parent/child comparison is data-dependent; its slice is two
+loads and a compare.  A second branch tests the event kind.
+"""
+
+from __future__ import annotations
+
+from repro.isa.program import Program, ProgramBuilder
+from repro.workloads.builder import advance_index, random_words, rng_for
+
+HEAP = 4096
+
+
+def build() -> Program:
+    rng = rng_for("omnetpp_17")
+    b = ProgramBuilder("omnetpp_17")
+    stamps = b.data("stamps", random_words(rng, HEAP, 0, 1 << 20))
+    kinds = b.data("kinds", random_words(rng, HEAP, 0, 8))
+
+    stampr, kindr, node, child, t_parent, t_child, kind, swaps = b.regs(
+        "stamps", "kinds", "node", "child", "tp", "tc", "kind", "swaps")
+    b.movi(stampr, stamps)
+    b.movi(kindr, kinds)
+    b.movi(node, 1)
+    b.movi(swaps, 0)
+
+    b.label("sift")
+    b.shli(child, node, 1)                 # left child index
+    b.andi(child, child, HEAP - 1)
+    b.ld(t_parent, base=stampr, index=node)
+    b.ld(t_child, base=stampr, index=child)
+    b.cmp(t_parent, t_child)
+    b.br("le", "heap_ok")                  # hard: timestamp order
+    b.addi(swaps, swaps, 1)
+    b.label("heap_ok")
+    b.ld(kind, base=kindr, index=node)
+    b.cmpi(kind, 5)
+    b.br("ge", "rare_kind")                # hard: event kind
+    b.addi(swaps, swaps, 0)
+    b.label("rare_kind")
+    advance_index(b, node, HEAP - 1, mult=13, add=1231)
+    b.jmp("sift")
+    return b.build()

@@ -1,0 +1,42 @@
+"""sjeng_06: chess attack/check detection.
+
+Probes an attack bitboard-like table along a pseudo-random ray: branch on
+whether the ray square holds a blocker, and — guarded by that — whether the
+blocker gives check.  Shorter slices than deepsjeng but a similar flavour.
+"""
+
+from __future__ import annotations
+
+from repro.isa.program import Program, ProgramBuilder
+from repro.workloads.builder import advance_index, random_words, rng_for
+
+SQUARES = 2048
+
+
+def build() -> Program:
+    rng = rng_for("sjeng_06")
+    b = ProgramBuilder("sjeng_06")
+    occupancy = b.data("occ", random_words(rng, SQUARES, 0, 2))
+    pieces = b.data("pieces", random_words(rng, SQUARES, 0, 12))
+
+    occr, piecer, sq, occ, piece, checks = b.regs(
+        "occ", "pieces", "sq", "o", "p", "checks")
+    b.movi(occr, occupancy)
+    b.movi(piecer, pieces)
+    b.movi(sq, 5)
+    b.movi(checks, 0)
+
+    b.label("ray")
+    b.ld(occ, base=occr, index=sq)
+    b.cmpi(occ, 0)
+    b.br("eq", "empty")                  # hard: blocker present?
+    b.ld(piece, base=piecer, index=sq)
+    b.andi(piece, piece, 7)
+    b.cmpi(piece, 5)
+    b.br("lt", "no_check")               # hard (guarded): checking piece?
+    b.addi(checks, checks, 1)
+    b.label("no_check")
+    b.label("empty")
+    advance_index(b, sq, SQUARES - 1, mult=17, add=293)
+    b.jmp("ray")
+    return b.build()

@@ -1,0 +1,54 @@
+"""xz_17: LZMA-style match finding.
+
+Compares the byte stream at the current position against a candidate match
+position (from a hash table of previous occurrences).  The match checks are
+unrolled, as in xz's optimized matchers: each of the three compare branches
+tests one more symbol pair and is *guarded* by the previous one matching —
+a chain of data-dependent branches with guard structure, each with a short
+fixed-shape slice (hash load, candidate load, two data loads, compare).
+"""
+
+from __future__ import annotations
+
+from repro.isa.program import Program, ProgramBuilder
+from repro.workloads.builder import advance_index, random_words, rng_for
+
+DATA_SIZE = 8192
+HASH_SIZE = 1024
+
+
+def build() -> Program:
+    rng = rng_for("xz_17")
+    b = ProgramBuilder("xz_17")
+    # low-entropy "text": few symbols so matches are common but irregular
+    data = b.data("data", random_words(rng, DATA_SIZE, 0, 4))
+    hashes = b.data("hash", random_words(rng, HASH_SIZE, 0, DATA_SIZE))
+
+    datar, hashr, position, candidate, a, c, addr, hashv, matched = b.regs(
+        "data", "hash", "pos", "cand", "a", "c", "addr", "hashv", "matched")
+    b.movi(datar, data)
+    b.movi(hashr, hashes)
+    b.movi(position, 0)
+    b.movi(matched, 0)
+
+    b.label("next_position")
+    # hash the current symbol to find a candidate match position
+    b.ld(a, base=datar, index=position)
+    b.muli(hashv, a, 131)
+    b.andi(hashv, hashv, HASH_SIZE - 1)
+    b.ld(candidate, base=hashr, index=hashv)
+    # unrolled match extension: symbol pairs at offsets 1, 2, 3
+    for offset in (1, 2, 3):
+        b.addi(addr, position, offset)
+        b.andi(addr, addr, DATA_SIZE - 1)
+        b.ld(a, base=datar, index=addr)       # data[pos + offset]
+        b.addi(addr, candidate, offset)
+        b.andi(addr, addr, DATA_SIZE - 1)
+        b.ld(c, base=datar, index=addr)       # data[cand + offset]
+        b.cmp(a, c)
+        b.br("ne", "mismatch")                # hard, guarded by the previous
+        b.addi(matched, matched, 1)
+    b.label("mismatch")
+    advance_index(b, position, DATA_SIZE - 1, mult=5, add=577)
+    b.jmp("next_position")
+    return b.build()

@@ -1,0 +1,49 @@
+"""Stress workloads used by the Figure 13 parameter sweeps.
+
+The paper's SPEC regions contain dozens of hard branches, which is what
+puts pressure on the chain cache, HBT, and CEB in its sweeps.  The
+17-kernel suite keeps each benchmark's hard-branch footprint small (2-5
+sites), so this module provides ``many_branches``: one loop with
+``NUM_SEGMENTS`` distinct hard data-dependent branch sites, each with its
+own random data slice.  Consequences, by structure:
+
+* chain cache: ~20 chains round-robin — capacities below the footprint
+  thrash;
+* HBT: more hard branches than a 16-entry table can hold;
+* CEB: the ~140-uop loop body exceeds a 128-entry buffer, so extraction
+  cannot reach a branch's previous instance and aborts;
+* window: ~20 chains want to execute concurrently each iteration.
+"""
+
+from __future__ import annotations
+
+from repro.isa.program import Program, ProgramBuilder
+from repro.workloads.builder import random_words, rng_for
+
+NUM_SEGMENTS = 20
+SLICE = 1024  # words of random data per branch site
+
+
+def many_branches() -> Program:
+    rng = rng_for("stress_many")
+    b = ProgramBuilder("stress_many")
+    data = b.data("data",
+                  random_words(rng, NUM_SEGMENTS * SLICE, 0, 2))
+    datar, i, value, acc = b.regs("data", "i", "value", "acc")
+    b.movi(datar, data)
+    b.movi(i, 0)
+    b.movi(acc, 0)
+
+    b.label("loop")
+    for segment in range(NUM_SEGMENTS):
+        b.ld(value, base=datar, index=i, disp=segment * SLICE)
+        b.cmpi(value, 1)
+        b.br("ne", f"skip_{segment}")   # hard branch site #segment
+        b.addi(acc, acc, 1)
+        b.label(f"skip_{segment}")
+    # one shared full-period LCG walk feeds every site's address
+    b.muli(i, i, 5)
+    b.addi(i, i, 269)
+    b.andi(i, i, SLICE - 1)
+    b.jmp("loop")
+    return b.build()

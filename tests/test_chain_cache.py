@@ -1,0 +1,98 @@
+"""Tests for the dependence chain cache (§4.2)."""
+
+import pytest
+
+from repro.core.chain import TERMINATED_SELF, WILDCARD, DependenceChain
+from repro.core.chain_cache import ChainCache
+from repro.isa import uop as U
+from repro.isa.uop import Uop
+
+
+def make_chain(branch_pc, tag):
+    branch = Uop(U.BR, cond=U.EQ, target=0)
+    branch.pc = branch_pc
+    return DependenceChain(
+        branch_pc=branch_pc,
+        branch_uop=branch,
+        tag=tag,
+        exec_uops=[branch],
+        timed_flags=[True],
+        live_ins=(),
+        live_outs=(),
+        pair_map={},
+        terminated_by=TERMINATED_SELF,
+    )
+
+
+class TestInstallAndMatch:
+    def test_wildcard_matches_both_outcomes(self):
+        cache = ChainCache(8)
+        cache.install(make_chain(0x10, (0x10, WILDCARD)))
+        assert len(cache.matching(0x10, True)) == 1
+        assert len(cache.matching(0x10, False)) == 1
+
+    def test_exact_tag_matches_one_outcome(self):
+        cache = ChainCache(8)
+        cache.install(make_chain(0x20, (0x10, 0)))  # trigger: 0x10 not-taken
+        assert len(cache.matching(0x10, False)) == 1
+        assert cache.matching(0x10, True) == []
+
+    def test_multiple_chains_per_trigger(self):
+        cache = ChainCache(8)
+        cache.install(make_chain(0x10, (0x10, WILDCARD)))
+        cache.install(make_chain(0x20, (0x10, 0)))
+        matched = cache.matching(0x10, False)
+        assert {chain.branch_pc for chain in matched} == {0x10, 0x20}
+
+    def test_reinstall_replaces(self):
+        cache = ChainCache(8)
+        cache.install(make_chain(0x10, (0x10, WILDCARD)))
+        cache.install(make_chain(0x10, (0x10, WILDCARD)))
+        assert len(cache) == 1
+
+    def test_hit_miss_stats(self):
+        cache = ChainCache(8)
+        cache.install(make_chain(0x10, (0x10, WILDCARD)))
+        cache.matching(0x10, True)
+        cache.matching(0x99, True)
+        assert cache.hits == 1 and cache.misses == 1
+
+
+class TestLru:
+    def test_eviction_order(self):
+        cache = ChainCache(2)
+        cache.install(make_chain(0x10, (0x10, WILDCARD)))
+        cache.install(make_chain(0x20, (0x20, WILDCARD)))
+        cache.matching(0x10, True)  # touch 0x10
+        cache.install(make_chain(0x30, (0x30, WILDCARD)))
+        assert cache.matching(0x20, True) == []  # 0x20 evicted
+        assert len(cache.matching(0x10, True)) == 1
+        assert cache.evictions == 1
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            ChainCache(0)
+
+
+class TestQueries:
+    def test_covered_branches(self):
+        cache = ChainCache(8)
+        cache.install(make_chain(0x10, (0x10, WILDCARD)))
+        cache.install(make_chain(0x20, (0x10, 1)))
+        assert cache.covered_branches() == {0x10, 0x20}
+
+    def test_wildcard_chains_for(self):
+        cache = ChainCache(8)
+        cache.install(make_chain(0x10, (0x10, WILDCARD)))
+        cache.install(make_chain(0x20, (0x10, 1)))
+        wild = cache.wildcard_chains_for(0x10)
+        assert [chain.branch_pc for chain in wild] == [0x10]
+
+    def test_remove_for_branch(self):
+        cache = ChainCache(8)
+        cache.install(make_chain(0x20, (0x10, 1)))
+        cache.install(make_chain(0x20, (0x20, WILDCARD)))
+        cache.install(make_chain(0x30, (0x30, WILDCARD)))
+        removed = cache.remove_for_branch(0x20)
+        assert removed == 2
+        assert cache.covered_branches() == {0x30}

@@ -1,0 +1,271 @@
+"""Tests for chain extraction (CEB walk), local rename, and chains."""
+
+import pytest
+
+from repro.core.ceb import ChainExtractionBuffer
+from repro.core.chain import (
+    TERMINATED_AFFECTOR_GUARD,
+    TERMINATED_SELF,
+    WILDCARD,
+)
+from repro.core.config import BranchRunaheadConfig
+from repro.core.hbt import HardBranchTable
+from repro.core.local_rename import local_rename
+from repro.emulator.machine import Machine
+from repro.isa import uop as U
+from repro.isa.program import ProgramBuilder
+from repro.isa.registers import CC
+from repro.isa.uop import Uop
+
+
+def retire_into_ceb(program, instructions, config=None, hbt=None):
+    """Run a program and feed the committed stream into a fresh CEB."""
+    config = config or BranchRunaheadConfig()
+    hbt = hbt or HardBranchTable(config)
+    ceb = ChainExtractionBuffer(config, hbt)
+    machine = Machine(program)
+    for record in machine.stream(instructions):
+        ceb.on_retire(record)
+    return ceb, hbt
+
+
+def loop_program():
+    """The leela-like loop: LD offs, ADD, LD board, CMP, BR."""
+    b = ProgramBuilder()
+    board = b.data("board", [2, 0, 2, 1, 2, 2, 0, 1] * 16)
+    boardr, i, value = b.regs("board", "i", "value")
+    b.movi(boardr, board)
+    b.movi(i, 0)
+    b.label("loop")
+    b.addi(i, i, 1)            # induction
+    b.andi(i, i, 127)
+    b.ld(value, base=boardr, index=i)
+    b.cmpi(value, 2)
+    b.br("eq", "loop")         # hard branch (pc 6)
+    b.jmp("loop")
+    return b.build(), 6
+
+
+class TestSelfTerminatedExtraction:
+    def test_extracts_wildcard_chain(self):
+        program, branch_pc = loop_program()
+        ceb, _ = retire_into_ceb(program, 200)
+        chain, latency = ceb.extract(branch_pc)
+        assert chain is not None
+        assert chain.tag == (branch_pc, WILDCARD)
+        assert chain.terminated_by == TERMINATED_SELF
+        assert latency >= 1
+
+    def test_slice_content(self):
+        """The chain must be exactly the dataflow slice of the branch."""
+        program, branch_pc = loop_program()
+        ceb, _ = retire_into_ceb(program, 200)
+        chain, _ = ceb.extract(branch_pc)
+        names = [op.name for op in chain.exec_uops]
+        assert names == ["ADDI", "ANDI", "LD", "CMPI", "BR"]
+
+    def test_live_ins_and_outs(self):
+        program, branch_pc = loop_program()
+        ceb, _ = retire_into_ceb(program, 200)
+        chain, _ = ceb.extract(branch_pc)
+        # live-ins: the induction register (previous value) + board base
+        assert len(chain.live_ins) == 2
+        assert CC in chain.live_outs
+
+    def test_irrelevant_uops_excluded(self):
+        b = ProgramBuilder()
+        data = b.data("data", [1, 2, 3, 4] * 32)
+        datar, i, value, junk = b.regs("data", "i", "value", "junk")
+        b.movi(datar, data)
+        b.movi(i, 0)
+        b.movi(junk, 0)
+        b.label("loop")
+        b.addi(junk, junk, 7)       # dead to the branch
+        b.muli(junk, junk, 3)       # dead to the branch
+        b.addi(i, i, 1)
+        b.andi(i, i, 127)
+        b.ld(value, base=datar, index=i)
+        b.cmpi(value, 2)
+        b.br("eq", "loop")
+        b.jmp("loop")
+        program = b.build()
+        branch_pc = next(op.pc for op in program.uops if op.is_cond_branch)
+        ceb, _ = retire_into_ceb(program, 300)
+        chain, _ = ceb.extract(branch_pc)
+        assert all(op.name != "MULI" for op in chain.exec_uops)
+
+
+class TestTerminationAndAborts:
+    def test_affector_guard_termination(self):
+        program, branch_pc = loop_program()
+        config = BranchRunaheadConfig()
+        hbt = HardBranchTable(config)
+        # install another loop branch as a (fake) hard-ish guard of ours:
+        # put a second conditional in the program instead
+        b = ProgramBuilder()
+        data = b.data("data", [0, 1] * 64)
+        datar, i, value = b.regs("data", "i", "value")
+        b.movi(datar, data)
+        b.movi(i, 0)
+        b.label("loop")
+        b.addi(i, i, 1)
+        b.andi(i, i, 127)
+        b.ld(value, base=datar, index=i)
+        b.cmpi(value, 0)
+        b.br("eq", "skip")          # guard branch (pc 6)
+        b.ld(value, base=datar, index=i, disp=1)
+        b.cmpi(value, 1)
+        b.br("eq", "loop")          # guarded hard branch (pc 9)
+        b.label("skip")
+        b.jmp("loop")
+        program = b.build()
+        # register the guard relation with balanced outcomes so neither
+        # branch looks biased or well-predicted
+        for k in range(100):
+            hbt.on_branch_retired(9, bool(k % 2), mispredicted=True)
+            hbt.on_branch_retired(6, bool(k % 2), mispredicted=True)
+        assert hbt.add_affector_guard(9, 6)
+        ceb = ChainExtractionBuffer(config, hbt)
+        machine = Machine(program)
+        for record in machine.stream(300):
+            ceb.on_retire(record)
+        chain, _ = ceb.extract(9)
+        assert chain is not None
+        assert chain.terminated_by == TERMINATED_AFFECTOR_GUARD
+        assert chain.tag[0] == 6
+        assert chain.tag[1] in (0, 1)
+
+    def test_abort_on_divide_in_slice(self):
+        b = ProgramBuilder()
+        data = b.data("data", [5, 9] * 64)
+        datar, i, value, d = b.regs("data", "i", "value", "d")
+        b.movi(datar, data)
+        b.movi(i, 0)
+        b.movi(d, 3)
+        b.label("loop")
+        b.addi(i, i, 1)
+        b.andi(i, i, 127)
+        b.ld(value, base=datar, index=i)
+        b.div(value, value, d)      # expensive op feeds the branch
+        b.cmpi(value, 2)
+        b.br("eq", "loop")
+        b.jmp("loop")
+        program = b.build()
+        branch_pc = next(op.pc for op in program.uops if op.is_cond_branch)
+        ceb, _ = retire_into_ceb(program, 300)
+        chain, _ = ceb.extract(branch_pc)
+        assert chain is None
+        assert ceb.stats.aborted_unchainable == 1
+
+    def test_abort_when_chain_too_long(self):
+        b = ProgramBuilder()
+        x = b.reg("x")
+        b.movi(x, 1)
+        b.label("loop")
+        for _ in range(20):          # 20 dependent uops feed the branch
+            b.addi(x, x, 1)
+        b.cmpi(x, 0)
+        b.br("ne", "loop")
+        b.halt()
+        program = b.build()
+        branch_pc = next(op.pc for op in program.uops if op.is_cond_branch)
+        config = BranchRunaheadConfig(max_chain_length=16)
+        ceb, _ = retire_into_ceb(program, 200, config=config)
+        chain, _ = ceb.extract(branch_pc)
+        assert chain is None
+        assert ceb.stats.aborted_too_long == 1
+
+    def test_abort_without_termination(self):
+        """A branch seen once, fed by a long-gone producer: no chain."""
+        b = ProgramBuilder()
+        x = b.reg("x")
+        b.movi(x, 5)
+        b.cmpi(x, 5)
+        b.br("eq", "end")
+        b.label("end")
+        b.halt()
+        program = b.build()
+        ceb, _ = retire_into_ceb(program, 10)
+        chain, _ = ceb.extract(2)
+        assert chain is None
+        assert ceb.stats.aborted_no_termination == 1
+
+
+class TestStoreLoadPairs:
+    def test_store_load_pair_detected_and_eliminated(self):
+        b = ProgramBuilder()
+        buf = b.zeros("buf", 4)
+        data = b.data("data", [1, 0] * 64)
+        bufr, datar, i, value, spill = b.regs(
+            "buf", "data", "i", "value", "spill")
+        b.movi(bufr, buf)
+        b.movi(datar, data)
+        b.movi(i, 0)
+        b.label("loop")
+        b.addi(i, i, 1)
+        b.andi(i, i, 127)
+        b.ld(spill, base=datar, index=i)
+        b.st(spill, base=bufr)        # spill
+        b.ld(value, base=bufr)        # reload (store-load pair)
+        b.cmpi(value, 1)
+        b.br("eq", "loop")
+        b.jmp("loop")
+        program = b.build()
+        branch_pc = next(op.pc for op in program.uops if op.is_cond_branch)
+        ceb, _ = retire_into_ceb(program, 300)
+        chain, _ = ceb.extract(branch_pc)
+        assert chain is not None
+        assert chain.pair_map  # the reload is paired with the spill
+        # neither the store nor the paired load survives elimination
+        for index, op in enumerate(chain.exec_uops):
+            if op.is_store:
+                assert not chain.timed_flags[index]
+        # the chain still sees through the spill to the data load
+        assert any(op.is_load and chain.timed_flags[i]
+                   for i, op in enumerate(chain.exec_uops))
+
+
+class TestLocalRename:
+    def test_mov_elimination(self):
+        uops = [
+            Uop(U.MOVI, dst=1, imm=5),
+            Uop(U.MOV, dst=2, srcs=(1,)),
+            Uop(U.CMPI, srcs=(2,), imm=5),
+            Uop(U.BR, cond=U.EQ, target=0),
+        ]
+        result = local_rename(uops, {})
+        assert result.timed_flags == [True, False, True, True]
+        assert result.length == 3
+
+    def test_live_in_identification(self):
+        uops = [
+            Uop(U.ADDI, dst=1, srcs=(1,), imm=4),  # reads previous R1
+            Uop(U.CMPI, srcs=(1,), imm=0),
+            Uop(U.BR, cond=U.NE, target=0),
+        ]
+        result = local_rename(uops, {})
+        assert 1 in result.live_ins
+        assert 1 in result.live_outs and CC in result.live_outs
+
+    def test_store_load_pair_forwarding(self):
+        uops = [
+            Uop(U.MOVI, dst=1, imm=9),
+            Uop(U.ST, srcs=(1,), base=2),
+            Uop(U.LD, dst=3, base=2),
+            Uop(U.CMPI, srcs=(3,), imm=9),
+            Uop(U.BR, cond=U.EQ, target=0),
+        ]
+        result = local_rename(uops, {2: 1})  # load idx 2 pairs store idx 1
+        assert result.timed_flags == [True, False, False, True, True]
+        # store base register is a live-in (read, never defined)
+        assert 2 in result.live_ins
+
+    def test_local_register_count_minimal(self):
+        uops = [
+            Uop(U.MOVI, dst=1, imm=1),
+            Uop(U.ADDI, dst=1, srcs=(1,), imm=1),  # redefines R1
+            Uop(U.CMPI, srcs=(1,), imm=2),
+            Uop(U.BR, cond=U.EQ, target=0),
+        ]
+        result = local_rename(uops, {})
+        assert result.num_local_regs == 3  # two R1 values + CC

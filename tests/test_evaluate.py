@@ -1,0 +1,72 @@
+"""Tests for the trace-driven predictor evaluation API."""
+
+import pytest
+
+from repro.emulator.machine import Machine
+from repro.predictors import (
+    AlwaysTakenPredictor,
+    BimodalPredictor,
+    compare_predictors,
+    score_trace,
+    tage_scl_64kb,
+)
+from repro.workloads import suite
+
+
+class TestScoreTrace:
+    def test_counts_consistent(self):
+        score = score_trace(suite.load("sjeng_06"), BimodalPredictor(),
+                            instructions=4_000)
+        assert score.instructions == 4_000
+        assert 0 < score.branches < score.instructions
+        assert 0 <= score.mispredicts <= score.branches
+        assert sum(score.per_branch_counts.values()) == score.branches
+        assert sum(score.per_branch_mispredicts.values()) \
+            == score.mispredicts
+
+    def test_warmup_excluded(self):
+        full = score_trace(suite.load("sjeng_06"), BimodalPredictor(),
+                           instructions=4_000, warmup=0)
+        warmed = score_trace(suite.load("sjeng_06"), BimodalPredictor(),
+                             instructions=4_000, warmup=2_000)
+        assert warmed.instructions == 4_000
+        assert warmed.branches < full.branches + 2_000
+
+    def test_metrics(self):
+        score = score_trace(suite.load("sjeng_06"), tage_scl_64kb(),
+                            instructions=6_000, warmup=2_000)
+        assert 0.0 < score.accuracy < 1.0
+        assert score.mpki > 2.0  # suite selection criterion (§5.1)
+
+    def test_hardest_and_subset_accuracy(self):
+        score = score_trace(suite.load("gobmk_06"), tage_scl_64kb(),
+                            instructions=8_000, warmup=2_000)
+        hard = score.hardest_branches(2)
+        assert len(hard) == 2
+        # the hardest branches mispredict by construction
+        assert score.accuracy_on(hard) < 1.0
+        assert all(score.per_branch_mispredicts[pc] > 0 for pc in hard)
+
+    def test_mid_stream_scoring(self):
+        program = suite.load("sjeng_06")
+        machine = Machine(program)
+        machine.run(5_000)
+        score = score_trace(program, BimodalPredictor(),
+                            instructions=2_000, machine=machine)
+        assert score.instructions == 2_000
+
+    def test_empty_pc_set(self):
+        score = score_trace(suite.load("sjeng_06"), BimodalPredictor(),
+                            instructions=1_000)
+        assert score.accuracy_on([]) == 1.0
+
+
+class TestComparePredictors:
+    def test_keyed_by_name_and_ordered_sanely(self):
+        scores = compare_predictors(
+            suite.load("leela_17"),
+            [AlwaysTakenPredictor(), BimodalPredictor(), tage_scl_64kb()],
+            instructions=6_000, warmup=2_000)
+        assert set(scores) == {"always-taken", "bimodal", "tage-sc-l-64kb"}
+        assert scores["tage-sc-l-64kb"].accuracy \
+            >= scores["always-taken"].accuracy

@@ -1,0 +1,207 @@
+"""Tests for the extensions: perceptron, SimPoint sampling, chain-load
+restriction, and the CLI."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main as cli_main
+from repro.core.config import mini
+from repro.isa.program import ProgramBuilder
+from repro.predictors.perceptron import PerceptronPredictor
+from repro.sim.sampling import (
+    collect_bbvs,
+    select_simpoints,
+    weighted_metric,
+)
+from repro.sim.simulator import simulate
+from repro.workloads import suite
+
+
+def accuracy(predictor, stream):
+    correct = 0
+    for pc, taken in stream:
+        if predictor.predict(pc) == taken:
+            correct += 1
+        predictor.update(pc, taken)
+    return correct / len(stream)
+
+
+class TestPerceptron:
+    def test_learns_bias(self):
+        stream = [(0x40, True)] * 300
+        assert accuracy(PerceptronPredictor(), stream) > 0.95
+
+    def test_learns_linear_history_function(self):
+        """Perceptrons excel at linearly separable history functions."""
+        outcomes = []
+        history = [True] * 8
+        for i in range(3000):
+            nxt = history[-3]  # outcome = outcome three branches ago
+            outcomes.append((0x10, nxt))
+            history.append(nxt if i % 7 else not nxt)  # occasional flip
+            history.pop(0)
+        assert accuracy(PerceptronPredictor(), outcomes) > 0.85
+
+    def test_fails_on_random_data_dependence(self):
+        rng = np.random.default_rng(3)
+        stream = [(0x10, bool(t)) for t in rng.integers(0, 2, 3000)]
+        assert accuracy(PerceptronPredictor(), stream) < 0.62
+
+    def test_weights_stay_clipped(self):
+        predictor = PerceptronPredictor(weight_bits=6)
+        for i in range(2000):
+            predictor.predict(0x10)
+            predictor.update(0x10, True)
+        for weights in predictor.weights:
+            assert all(-32 <= w <= 31 for w in weights)
+
+    def test_storage_accounting(self):
+        predictor = PerceptronPredictor(num_perceptrons=64, history_bits=12)
+        assert predictor.storage_bits() == 64 * 13 * 8
+
+
+class TestSampling:
+    def _phased_program(self):
+        """Two clearly different phases alternating every ~5000 uops."""
+        rng = np.random.default_rng(5)
+        b = ProgramBuilder("phased")
+        data = b.data("data", [int(v) for v in rng.integers(0, 2, 1024)])
+        datar, i, v, n = b.regs("data", "i", "v", "n")
+        b.movi(datar, data)
+        b.label("phase_a")              # branchy phase
+        b.movi(n, 0)
+        b.label("a_loop")
+        b.muli(i, i, 5)
+        b.addi(i, i, 7)
+        b.andi(i, i, 1023)
+        b.ld(v, base=datar, index=i)
+        b.cmpi(v, 1)
+        b.br("eq", "a_skip")
+        b.label("a_skip")
+        b.addi(n, n, 1)
+        b.cmpi(n, 600)
+        b.br("lt", "a_loop")
+        b.label("phase_b")              # compute phase
+        b.movi(n, 0)
+        b.label("b_loop")
+        b.muli(v, v, 3)
+        b.addi(v, v, 1)
+        b.xori(v, v, 5)
+        b.addi(n, n, 1)
+        b.cmpi(n, 1200)
+        b.br("lt", "b_loop")
+        b.jmp("phase_a")
+        return b.build()
+
+    def test_bbvs_normalized(self):
+        intervals = collect_bbvs(suite.load("leela_17"),
+                                 total_instructions=20_000,
+                                 interval_length=5_000)
+        assert len(intervals) == 4
+        for interval in intervals:
+            assert interval.bbv.sum() == pytest.approx(1.0)
+
+    def test_steady_kernel_needs_few_clusters(self):
+        simpoints = select_simpoints(suite.load("sjeng_06"),
+                                     total_instructions=40_000,
+                                     interval_length=5_000,
+                                     max_clusters=3)
+        assert 1 <= len(simpoints) <= 3
+        assert sum(p.weight for p in simpoints) == pytest.approx(1.0)
+
+    def test_phased_program_separates(self):
+        """Distinct phases must land in distinct clusters."""
+        program = self._phased_program()
+        simpoints = select_simpoints(program, total_instructions=48_000,
+                                     interval_length=4_000,
+                                     max_clusters=2)
+        assert len(simpoints) == 2
+        starts = sorted(p.start_instruction for p in simpoints)
+        assert starts[0] != starts[1]
+
+    def test_weighted_metric(self):
+        simpoints = select_simpoints(suite.load("sjeng_06"),
+                                     total_instructions=30_000,
+                                     interval_length=10_000,
+                                     max_clusters=2)
+        values = [2.0] * len(simpoints)
+        assert weighted_metric(simpoints, values) == pytest.approx(2.0)
+
+    def test_too_small_budget_raises(self):
+        with pytest.raises(ValueError):
+            select_simpoints(suite.load("sjeng_06"),
+                             total_instructions=100,
+                             interval_length=5_000)
+
+
+class TestChainLoadRestriction:
+    def test_multi_load_chain_rejected(self):
+        """mcf's pricing chain has 4 loads: the Gupta-style single-load
+        restriction must abort it."""
+        program = suite.load("mcf_17")
+        restricted = simulate(program, instructions=8_000, warmup=5_000,
+                              br_config=mini(max_chain_loads=1))
+        assert restricted.runahead.ceb.stats.aborted_too_many_loads > 0
+        assert len(restricted.runahead.chain_cache) == 0
+
+    def test_single_load_chain_allowed(self):
+        program = suite.load("mcf_06")  # one load feeds the flow test? two:
+        # next[node] + flow[node] -> also restricted; use a dedicated kernel
+        b = ProgramBuilder("oneload")
+        rng = np.random.default_rng(8)
+        data = b.data("data", [int(v) for v in rng.integers(0, 2, 2048)])
+        datar, i, v = b.regs("data", "i", "v")
+        b.movi(datar, data)
+        b.label("loop")
+        b.muli(i, i, 5)
+        b.addi(i, i, 7)
+        b.andi(i, i, 2047)
+        b.ld(v, base=datar, index=i)
+        b.cmpi(v, 1)
+        b.br("eq", "loop")
+        b.jmp("loop")
+        result = simulate(b.build(), instructions=8_000, warmup=5_000,
+                          br_config=mini(max_chain_loads=1))
+        assert len(result.runahead.chain_cache) == 1
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert cli_main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "leela_17" in out and "sssp" in out
+
+    def test_run_baseline(self, capsys):
+        code = cli_main(["run", "sjeng_06", "--config", "none",
+                         "--instructions", "2000", "--warmup", "1000"])
+        assert code == 0
+        assert "MPKI" in capsys.readouterr().out
+
+    def test_run_with_branch_runahead(self, capsys):
+        code = cli_main(["run", "sjeng_06", "--config", "mini",
+                         "--instructions", "2000", "--warmup", "1000"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "prediction breakdown" in out
+
+    def test_compare(self, capsys):
+        code = cli_main(["compare", "sjeng_06",
+                         "--instructions", "2000", "--warmup", "1000"])
+        assert code == 0
+        assert "ΔMPKI" in capsys.readouterr().out
+
+    def test_chains(self, capsys):
+        code = cli_main(["chains", "leela_17",
+                         "--instructions", "6000", "--warmup", "4000"])
+        assert code == 0
+        assert "Chain for" in capsys.readouterr().out
+
+    def test_simpoints(self, capsys):
+        code = cli_main(["simpoints", "sjeng_06", "--total", "20000",
+                         "--interval", "5000"])
+        assert code == 0
+        assert "weight" in capsys.readouterr().out
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(SystemExit):
+            cli_main(["run", "not_a_benchmark"])

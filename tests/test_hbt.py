@@ -1,0 +1,164 @@
+"""Tests for the Hard Branch Table (§4.3)."""
+
+from repro.core.config import BranchRunaheadConfig
+from repro.core.hbt import HardBranchTable
+
+
+def make(**overrides):
+    return HardBranchTable(BranchRunaheadConfig(**overrides))
+
+
+def retire_n(hbt, pc, count, taken=True, mispredicted=True):
+    for _ in range(count):
+        hbt.on_branch_retired(pc, taken, mispredicted)
+
+
+class TestHardDetection:
+    def test_saturation_marks_hard(self):
+        hbt = make()
+        retire_n(hbt, 0x10, 31)
+        assert hbt.is_hard(0x10)
+
+    def test_below_saturation_not_hard(self):
+        hbt = make()
+        retire_n(hbt, 0x10, 20)
+        assert not hbt.is_hard(0x10)
+
+    def test_counter_decay(self):
+        """Counters drop by 15 every 1000 retired branches (footnote 7)."""
+        hbt = make()
+        retire_n(hbt, 0x10, 20)
+        # 980 well-predicted branches at another pc trigger the decay epoch
+        retire_n(hbt, 0x20, 980, mispredicted=False)
+        assert hbt.entries[0x10].misp_counter == 5
+
+    def test_sporadic_mispredicts_decay_away(self):
+        hbt = make()
+        for _ in range(5):
+            hbt.on_branch_retired(0x10, True, mispredicted=True)
+            retire_n(hbt, 0x20, 999, mispredicted=False)
+        assert not hbt.is_hard(0x10)
+
+    def test_allocation_capacity_and_replacement(self):
+        hbt = make(hbt_entries=2)
+        retire_n(hbt, 0x10, 31)          # hard, counter saturated
+        retire_n(hbt, 0x20, 1, mispredicted=False)  # counter 0
+        hbt.on_branch_retired(0x30, True, True)     # replaces 0x20
+        assert 0x30 in hbt.entries
+        assert 0x20 not in hbt.entries
+        assert 0x10 in hbt.entries       # protected by nonzero counter
+
+    def test_ag_entries_protected_from_replacement(self):
+        hbt = make(hbt_entries=2)
+        retire_n(hbt, 0x10, 31)
+        retire_n(hbt, 0x20, 1, mispredicted=False)
+        assert hbt.add_affector_guard(0x10, 0x20)
+        hbt.on_branch_retired(0x30, True, True)  # no victim: 0x20 is AG
+        assert 0x20 in hbt.entries
+        assert 0x30 not in hbt.entries
+
+
+class TestBias:
+    def test_balanced_branch_not_biased(self):
+        hbt = make()
+        for i in range(200):
+            hbt.on_branch_retired(0x10, bool(i % 2), False)
+        assert not hbt.is_biased(0x10)
+
+    def test_strong_bias_detected(self):
+        hbt = make()
+        for i in range(200):
+            hbt.on_branch_retired(0x10, i % 10 != 0, False)  # 90% taken
+        assert hbt.is_biased(0x10)
+
+    def test_loop_branch_trip8_biased(self):
+        """87.5% taken (trip-8 loop): must be filtered per §3/§4.3."""
+        hbt = make()
+        for i in range(400):
+            hbt.on_branch_retired(0x10, i % 8 != 7, False)
+        assert hbt.is_biased(0x10)
+
+    def test_needs_minimum_sample(self):
+        hbt = make()
+        for _ in range(10):
+            hbt.on_branch_retired(0x10, True, False)
+        assert not hbt.is_biased(0x10)
+
+    def test_newly_biased_branch_leaves_agls(self):
+        hbt = make()
+        retire_n(hbt, 0x10, 31)
+        retire_n(hbt, 0x20, 10, taken=True, mispredicted=True)
+        assert hbt.add_affector_guard(0x10, 0x20)
+        # 0x20 turns out to be always-taken
+        retire_n(hbt, 0x20, 100, taken=True, mispredicted=True)
+        assert 0x20 not in hbt.affector_guards_of(0x10)
+        assert hbt.agc(0x10)
+
+
+class TestWellPredictedFilter:
+    def test_never_mispredicting_branch_is_unsuitable(self):
+        hbt = make()
+        for i in range(200):
+            hbt.on_branch_retired(0x10, bool(i % 2), mispredicted=False)
+        assert hbt.is_well_predicted(0x10)
+        assert hbt.is_unsuitable_trigger(0x10)
+
+    def test_hard_branch_is_suitable(self):
+        hbt = make()
+        for i in range(200):
+            hbt.on_branch_retired(0x10, bool(i % 2), mispredicted=True)
+        assert not hbt.is_well_predicted(0x10)
+        assert not hbt.is_unsuitable_trigger(0x10)
+
+    def test_registration_rejects_well_predicted(self):
+        hbt = make()
+        retire_n(hbt, 0x10, 31)
+        for i in range(200):
+            hbt.on_branch_retired(0x20, bool(i % 2), mispredicted=False)
+        assert not hbt.add_affector_guard(0x10, 0x20)
+
+
+class TestAffectorGuardFields:
+    def test_registration_sets_fields(self):
+        hbt = make()
+        retire_n(hbt, 0x10, 31)
+        retire_n(hbt, 0x20, 8)
+        assert hbt.add_affector_guard(0x10, 0x20)
+        assert hbt.entries[0x20].ag
+        assert 0x20 in hbt.affector_guards_of(0x10)
+        assert hbt.agc(0x10)
+
+    def test_duplicate_registration_no_agc(self):
+        hbt = make()
+        retire_n(hbt, 0x10, 31)
+        retire_n(hbt, 0x20, 8)
+        hbt.add_affector_guard(0x10, 0x20)
+        hbt.clear_agc(0x10)
+        assert not hbt.add_affector_guard(0x10, 0x20)
+        assert not hbt.agc(0x10)
+
+    def test_self_reference_rejected(self):
+        hbt = make()
+        retire_n(hbt, 0x10, 31)
+        assert not hbt.add_affector_guard(0x10, 0x10)
+
+    def test_unknown_hard_branch_rejected(self):
+        hbt = make()
+        retire_n(hbt, 0x20, 8)
+        assert not hbt.add_affector_guard(0x99, 0x20)
+
+    def test_is_affector_or_guard_of(self):
+        hbt = make()
+        retire_n(hbt, 0x10, 31)
+        retire_n(hbt, 0x20, 8)
+        hbt.add_affector_guard(0x10, 0x20)
+        assert hbt.is_affector_or_guard_of(0x20, 0x10)
+        assert not hbt.is_affector_or_guard_of(0x10, 0x20)
+
+    def test_removing_hard_entry_releases_its_ags(self):
+        hbt = make(hbt_entries=3)
+        retire_n(hbt, 0x10, 31)
+        retire_n(hbt, 0x20, 8)
+        hbt.add_affector_guard(0x10, 0x20)
+        hbt._remove(0x10)
+        assert not hbt.entries[0x20].ag  # no longer referenced

@@ -1,0 +1,178 @@
+"""Cross-cutting invariants: slice closure, functional equivalence,
+determinism, and no-harm guardrails over the whole benchmark suite."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.chain import TERMINATED_SELF, WILDCARD, DependenceChain
+from repro.core.chain_cache import ChainCache
+from repro.core.config import BranchRunaheadConfig, mini
+from repro.core.dce import DependenceChainEngine
+from repro.core.local_rename import local_rename
+from repro.core.prediction_queue import PredictionQueueFile
+from repro.emulator.machine import execute_uop
+from repro.emulator.memory import Memory
+from repro.isa import uop as U
+from repro.isa.registers import NUM_ARCH_REGS
+from repro.isa.uop import Uop
+from repro.memsys.hierarchy import MemoryHierarchy
+from repro.memsys.port import PortTracker
+from repro.sim.simulator import simulate
+from repro.workloads import suite
+
+#: A representative slice of the suite, kept small for test runtime.
+SAMPLE_BENCHMARKS = ["leela_17", "mcf_17", "gobmk_06", "cc", "sssp"]
+
+
+@pytest.fixture(scope="module")
+def mini_results():
+    return {
+        name: simulate(suite.load(name), instructions=8_000, warmup=5_000,
+                       br_config=mini())
+        for name in SAMPLE_BENCHMARKS
+    }
+
+
+class TestChainSliceClosure:
+    def test_every_source_is_live_in_or_defined_earlier(self, mini_results):
+        """A dependence chain must be dataflow-closed: each uop's sources
+        are live-ins or destinations of older chain uops."""
+        for name, result in mini_results.items():
+            for chain in result.runahead.chain_cache.chains():
+                defined = set(chain.live_ins)
+                for op in chain.exec_uops:
+                    for src in op.src_regs:
+                        assert src in defined, (name, chain, op)
+                    defined.update(op.dst_regs)
+
+    def test_live_outs_cover_all_definitions(self, mini_results):
+        for result in mini_results.values():
+            for chain in result.runahead.chain_cache.chains():
+                defined = set()
+                for op in chain.exec_uops:
+                    defined.update(op.dst_regs)
+                assert defined == set(chain.live_outs)
+
+    def test_chain_ends_with_its_branch(self, mini_results):
+        for result in mini_results.values():
+            for chain in result.runahead.chain_cache.chains():
+                last = chain.exec_uops[-1]
+                assert last.is_cond_branch
+                assert last.pc == chain.branch_pc
+
+    def test_timed_uops_within_limit(self, mini_results):
+        for result in mini_results.values():
+            config = result.runahead.config
+            for chain in result.runahead.chain_cache.chains():
+                assert 1 <= chain.length <= config.max_chain_length
+
+
+class TestDceFunctionalEquivalence:
+    @given(st.integers(min_value=-50, max_value=50),
+           st.integers(min_value=1, max_value=9),
+           st.integers(min_value=-40, max_value=40))
+    @settings(max_examples=40, deadline=None)
+    def test_chain_outcome_matches_plain_execution(self, start_value,
+                                                   increment, threshold):
+        """The DCE's timed/eliminated execution must produce exactly the
+        outcome plain sequential execution of the slice produces."""
+        uops = [
+            Uop(U.ADDI, dst=1, srcs=(1,), imm=increment),
+            Uop(U.MOV, dst=2, srcs=(1,)),          # eliminated by rename
+            Uop(U.CMPI, srcs=(2,), imm=threshold),
+            Uop(U.BR, cond=U.LT, target=0),
+        ]
+        for index, op in enumerate(uops):
+            op.pc = 0x60 - len(uops) + 1 + index
+        rename = local_rename(uops, {})
+        chain = DependenceChain(
+            branch_pc=0x60, branch_uop=uops[-1], tag=(0x60, WILDCARD),
+            exec_uops=uops, timed_flags=rename.timed_flags,
+            live_ins=rename.live_ins, live_outs=rename.live_outs,
+            pair_map={}, terminated_by=TERMINATED_SELF)
+
+        config = BranchRunaheadConfig()
+        engine = DependenceChainEngine(
+            config, ChainCache(8),
+            PredictionQueueFile(4, 16), MemoryHierarchy(), Memory(),
+            PortTracker())
+        engine.chain_cache.install(chain)
+        regs = [0] * NUM_ARCH_REGS
+        regs[1] = start_value
+        engine.sync(regs, cycle=0)
+        engine.trigger(0x60, True, cycle=0)
+        queue = engine.queues.get(0x60)
+        _, dce_outcome = queue.consume(10**9)
+
+        # plain execution of the full slice
+        plain = [0] * NUM_ARCH_REGS
+        plain[1] = start_value
+        memory = Memory()
+        taken = False
+        for op in uops:
+            taken = execute_uop(op, plain, memory).taken
+        assert dce_outcome == taken
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("name", ["leela_17", "sssp"])
+    def test_simulation_fully_deterministic(self, name):
+        first = simulate(suite.load(name), instructions=5_000, warmup=3_000,
+                         br_config=mini())
+        second = simulate(suite.load(name), instructions=5_000, warmup=3_000,
+                          br_config=mini())
+        assert first.mpki == second.mpki
+        assert first.core.cycles == second.core.cycles
+        assert first.runahead.dce.stats.uops_executed == \
+            second.runahead.dce.stats.uops_executed
+
+
+class TestNoHarmGuardrail:
+    @pytest.mark.parametrize("name", suite.BENCHMARK_NAMES)
+    def test_br_never_catastrophically_worse(self, name):
+        """Throttling + divergence handling must bound the damage on any
+        workload: MPKI within 15% of baseline, always."""
+        baseline = simulate(suite.load(name), instructions=6_000,
+                            warmup=4_000)
+        runahead = simulate(suite.load(name), instructions=6_000,
+                            warmup=4_000, br_config=mini())
+        assert runahead.mpki <= baseline.mpki * 1.15 + 0.5, name
+
+
+class TestRecoveryFromBrokenChains:
+    def test_divergences_detected_and_bounded(self):
+        """Chains reading mutated memory diverge; the system must detect
+        the divergences and keep overall accuracy from collapsing."""
+        import numpy as np
+        from repro.isa.program import ProgramBuilder
+        rng = np.random.default_rng(4)
+        b = ProgramBuilder("mutating")
+        data = b.data("data", [int(v) for v in rng.integers(0, 2, 2048)])
+        datar, i, v = b.regs("data", "i", "v")
+        b.movi(datar, data)
+        b.label("loop")
+        b.muli(i, i, 5)
+        b.addi(i, i, 7)
+        b.andi(i, i, 2047)
+        b.ld(v, base=datar, index=i)
+        b.cmpi(v, 1)
+        b.br("ne", "skip")
+        b.xori(v, v, 1)
+        b.st(v, base=datar, index=i)   # flip the bit chains just read
+        b.label("skip")
+        b.jmp("loop")
+        program = b.build()
+        baseline = simulate(program, instructions=8_000, warmup=5_000)
+        result = simulate(program, instructions=8_000, warmup=5_000,
+                          br_config=mini())
+        assert result.mpki <= baseline.mpki * 1.15 + 0.5
+
+    def test_loop_boundary_divergence_detected(self):
+        """leela's chains structurally diverge every loop exit (§3: 'until
+        i reaches 8'); the monitor must catch and resynchronize them."""
+        result = simulate(suite.load("leela_17"), instructions=8_000,
+                          warmup=5_000, br_config=mini())
+        stats = result.runahead.stats
+        assert stats.divergences > 0
+        assert stats.resyncs >= stats.divergences * 0.5

@@ -1,0 +1,189 @@
+"""Unit tests for the micro-op ISA: registers, uops, and the assembler."""
+
+import pytest
+
+from repro.isa import uop as U
+from repro.isa.program import DATA_BASE, ProgramBuilder
+from repro.isa.registers import (
+    CC,
+    NUM_ARCH_REGS,
+    NUM_GPRS,
+    parse_reg,
+    reg_bit,
+    reg_name,
+)
+from repro.isa.uop import Uop, evaluate_condition
+
+
+class TestRegisters:
+    def test_register_count(self):
+        assert NUM_ARCH_REGS == NUM_GPRS + 1
+        assert CC == NUM_GPRS
+
+    def test_names_roundtrip(self):
+        for index in range(NUM_ARCH_REGS):
+            assert parse_reg(reg_name(index)) == index
+
+    def test_cc_name(self):
+        assert reg_name(CC) == "CC"
+
+    def test_invalid_index_raises(self):
+        with pytest.raises(ValueError):
+            reg_name(NUM_ARCH_REGS)
+        with pytest.raises(ValueError):
+            reg_name(-1)
+
+    def test_invalid_name_raises(self):
+        with pytest.raises(ValueError):
+            parse_reg("R99")
+        with pytest.raises(ValueError):
+            parse_reg("X0")
+
+    def test_reg_bit_distinct(self):
+        bits = {reg_bit(i) for i in range(NUM_ARCH_REGS)}
+        assert len(bits) == NUM_ARCH_REGS
+
+    def test_reg_bit_out_of_range(self):
+        with pytest.raises(ValueError):
+            reg_bit(NUM_ARCH_REGS)
+
+
+class TestUop:
+    def test_alu_src_dst(self):
+        op = Uop(U.ADD, dst=3, srcs=(1, 2))
+        assert op.dst_regs == (3,)
+        assert op.src_regs == (1, 2)
+        assert not op.is_branch and not op.is_mem
+
+    def test_cmp_writes_cc(self):
+        op = Uop(U.CMP, srcs=(1, 2))
+        assert op.dst_regs == (CC,)
+
+    def test_branch_reads_cc(self):
+        op = Uop(U.BR, cond=U.EQ, target=5)
+        assert CC in op.src_regs
+        assert op.is_cond_branch and op.is_branch
+
+    def test_jmp_is_branch_but_not_conditional(self):
+        op = Uop(U.JMP, target=0)
+        assert op.is_branch and not op.is_cond_branch
+
+    def test_load_sources_include_base_and_index(self):
+        op = Uop(U.LD, dst=4, base=1, index=2, scale=8, disp=16)
+        assert set(op.src_regs) == {1, 2}
+        assert op.is_load and op.is_mem and not op.is_store
+
+    def test_store_sources(self):
+        op = Uop(U.ST, srcs=(5,), base=1)
+        assert set(op.src_regs) == {5, 1}
+        assert op.is_store and op.dst_regs == ()
+
+    def test_div_not_chainable(self):
+        assert not Uop(U.DIV, dst=0, srcs=(1, 2)).is_chainable()
+        assert not Uop(U.MOD, dst=0, srcs=(1, 2)).is_chainable()
+
+    def test_common_ops_chainable(self):
+        assert Uop(U.ADD, dst=0, srcs=(1, 2)).is_chainable()
+        assert Uop(U.LD, dst=0, base=1).is_chainable()
+        assert Uop(U.CMPI, srcs=(1,), imm=3).is_chainable()
+
+    def test_latency_table_complete(self):
+        for opcode in range(len(U.OPCODE_NAMES)):
+            assert opcode in U.OPCODE_LATENCY
+
+    def test_repr_is_readable(self):
+        op = Uop(U.LD, dst=4, base=1, index=2, scale=8, disp=16)
+        op.pc = 7
+        text = repr(op)
+        assert "LD" in text and "R4" in text
+
+
+class TestConditions:
+    @pytest.mark.parametrize("cond,cc,expected", [
+        (U.EQ, 0, True), (U.EQ, 1, False),
+        (U.NE, 0, False), (U.NE, -1, True),
+        (U.LT, -1, True), (U.LT, 0, False),
+        (U.LE, 0, True), (U.LE, 1, False),
+        (U.GT, 1, True), (U.GT, 0, False),
+        (U.GE, 0, True), (U.GE, -1, False),
+    ])
+    def test_evaluate(self, cond, cc, expected):
+        assert evaluate_condition(cond, cc) is expected
+
+    def test_invalid_condition(self):
+        with pytest.raises(ValueError):
+            evaluate_condition(99, 0)
+
+
+class TestProgramBuilder:
+    def test_register_allocation_by_name(self):
+        b = ProgramBuilder()
+        r0 = b.reg("a")
+        r1 = b.reg("b")
+        assert r0 != r1
+        assert b.reg("a") == r0  # lookup, not re-allocation
+
+    def test_register_exhaustion(self):
+        b = ProgramBuilder()
+        for i in range(NUM_GPRS):
+            b.reg(f"r{i}")
+        with pytest.raises(RuntimeError):
+            b.reg("one_too_many")
+
+    def test_data_placement(self):
+        b = ProgramBuilder()
+        base = b.data("arr", [10, 20, 30])
+        assert base == DATA_BASE
+        b.halt()
+        program = b.build()
+        assert program.initial_memory[base] == 10
+        assert program.initial_memory[base + 2] == 30
+
+    def test_data_arrays_do_not_overlap(self):
+        b = ProgramBuilder()
+        a = b.data("a", [1, 2, 3])
+        c = b.zeros("c", 5)
+        assert c >= a + 3
+        assert b.data_base("a") == a
+
+    def test_label_resolution(self):
+        b = ProgramBuilder()
+        x = b.reg("x")
+        b.movi(x, 0)
+        b.label("top")
+        b.addi(x, x, 1)
+        b.cmpi(x, 10)
+        b.br("lt", "top")
+        b.halt()
+        program = b.build()
+        branch = program.uops[3]
+        assert branch.target == 1  # "top" is the ADDI
+
+    def test_undefined_label_raises(self):
+        b = ProgramBuilder()
+        b.jmp("nowhere")
+        with pytest.raises(ValueError):
+            b.build()
+
+    def test_duplicate_label_raises(self):
+        b = ProgramBuilder()
+        b.label("x")
+        with pytest.raises(ValueError):
+            b.label("x")
+
+    def test_pcs_assigned_sequentially(self):
+        b = ProgramBuilder()
+        x = b.reg("x")
+        b.movi(x, 1)
+        b.addi(x, x, 1)
+        b.halt()
+        program = b.build()
+        assert [op.pc for op in program.uops] == [0, 1, 2]
+
+    def test_listing_contains_all_uops(self):
+        b = ProgramBuilder()
+        x = b.reg("x")
+        b.movi(x, 1)
+        b.halt()
+        listing = b.build().listing()
+        assert "MOVI" in listing and "HALT" in listing

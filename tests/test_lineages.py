@@ -1,0 +1,251 @@
+"""Tests for lineage isolation, cluster resync, and related mechanisms."""
+
+import numpy as np
+import pytest
+
+from repro.core.chain import TERMINATED_SELF, WILDCARD, DependenceChain
+from repro.core.chain_cache import ChainCache
+from repro.core.config import BranchRunaheadConfig, mini
+from repro.core.dce import DependenceChainEngine
+from repro.core.local_rename import local_rename
+from repro.core.prediction_queue import READY, PredictionQueueFile
+from repro.emulator.memory import Memory
+from repro.isa import uop as U
+from repro.isa.program import ProgramBuilder
+from repro.isa.registers import NUM_ARCH_REGS
+from repro.isa.uop import Uop
+from repro.memsys.hierarchy import MemoryHierarchy
+from repro.memsys.port import PortTracker
+from repro.sim.simulator import simulate
+
+
+def counting_chain(branch_pc, threshold, reg):
+    uops = [
+        Uop(U.ADDI, dst=reg, srcs=(reg,), imm=1),
+        Uop(U.CMPI, srcs=(reg,), imm=threshold),
+        Uop(U.BR, cond=U.LT, target=0),
+    ]
+    for index, op in enumerate(uops):
+        op.pc = branch_pc - len(uops) + 1 + index
+    rename = local_rename(uops, {})
+    return DependenceChain(
+        branch_pc=branch_pc, branch_uop=uops[-1], tag=(branch_pc, WILDCARD),
+        exec_uops=uops, timed_flags=rename.timed_flags,
+        live_ins=rename.live_ins, live_outs=rename.live_outs,
+        pair_map={}, terminated_by=TERMINATED_SELF)
+
+
+def make_engine(config=None):
+    config = config or BranchRunaheadConfig()
+    cache = ChainCache(config.chain_cache_entries)
+    queues = PredictionQueueFile(config.prediction_queues,
+                                 config.prediction_queue_entries)
+    engine = DependenceChainEngine(config, cache, queues, MemoryHierarchy(),
+                                   Memory(), PortTracker())
+    return engine, cache, queues
+
+
+class TestLineageIsolation:
+    def test_independent_lineages_do_not_interfere(self):
+        """Two wildcard chains sharing a register must each see their own
+        lineage's values (the paper's per-chain local register files)."""
+        engine, cache, queues = make_engine()
+        # both chains increment THE SAME architectural register R1
+        cache.install(counting_chain(0x10, threshold=4, reg=1))
+        cache.install(counting_chain(0x20, threshold=4, reg=1))
+        engine.sync([0] * NUM_ARCH_REGS, cycle=0)
+        engine.trigger(0x10, True, cycle=0)
+        engine.trigger(0x20, True, cycle=0)
+        for pc in (0x10, 0x20):
+            queue = queues.get(pc)
+            outcomes = [queue.consume(10**6)[1] for _ in range(5)]
+            # each lineage counts 1,2,3 (taken) then 4,5 (not taken) —
+            # interference would double-count and break this sequence
+            assert outcomes == [True, True, True, False, False], hex(pc)
+
+    def test_triggered_chain_inherits_producer_values(self):
+        """A guard-tagged chain reads live-ins from its producer lineage."""
+        engine, cache, queues = make_engine()
+        producer = counting_chain(0x10, threshold=1 << 60, reg=1)
+        consumer = counting_chain(0x30, threshold=3, reg=1)  # same register
+        consumer.tag = (0x10, 1)
+        cache.install(producer)
+        cache.install(consumer)
+        engine.sync([0] * NUM_ARCH_REGS, cycle=0)
+        engine.trigger(0x10, True, cycle=0)
+        queue = queues.get(0x30)
+        # the root trigger activates the consumer once from the synced state
+        # (R1=0 -> 1 < 3: T); after that, consumer instance k reads R1 = k
+        # from producer instance k and adds 1: 2 (T), 3 (F), 4 (F)...
+        outcomes = [queue.consume(10**6)[1] for _ in range(4)]
+        assert outcomes == [True, True, False, False]
+
+    def test_snapshot_is_deep_enough(self):
+        engine, cache, queues = make_engine()
+        cache.install(counting_chain(0x10, threshold=100, reg=1))
+        engine.sync([0] * NUM_ARCH_REGS, cycle=0)
+        engine.trigger(0x10, True, cycle=0)
+        # a later sync must not be affected by the earlier lineage state
+        engine.sync([0] * NUM_ARCH_REGS, cycle=1000)
+        assert engine._sync_regs[1] == 0
+
+
+class TestTriggerGraph:
+    def test_reachable_from_direct(self):
+        cache = ChainCache(8)
+        chain_a = counting_chain(0x10, 4, 1)
+        chain_b = counting_chain(0x20, 4, 2)
+        chain_b.tag = (0x10, 0)
+        cache.install(chain_a)
+        cache.install(chain_b)
+        assert cache.reachable_from(0x10) == {0x10, 0x20}
+
+    def test_reachable_from_transitive(self):
+        cache = ChainCache(8)
+        chain_a = counting_chain(0x10, 4, 1)
+        chain_b = counting_chain(0x20, 4, 2)
+        chain_b.tag = (0x10, 1)
+        chain_c = counting_chain(0x30, 4, 3)
+        chain_c.tag = (0x20, 0)
+        for chain in (chain_a, chain_b, chain_c):
+            cache.install(chain)
+        assert cache.reachable_from(0x10) == {0x10, 0x20, 0x30}
+
+    def test_unrelated_not_reached(self):
+        cache = ChainCache(8)
+        cache.install(counting_chain(0x10, 4, 1))
+        cache.install(counting_chain(0x50, 4, 2))
+        assert 0x50 not in cache.reachable_from(0x10)
+
+    def test_cycle_terminates(self):
+        cache = ChainCache(8)
+        chain_a = counting_chain(0x10, 4, 1)
+        chain_a.tag = (0x20, WILDCARD)
+        chain_b = counting_chain(0x20, 4, 2)
+        chain_b.tag = (0x10, WILDCARD)
+        cache.install(chain_a)
+        cache.install(chain_b)
+        assert cache.reachable_from(0x10) == {0x10, 0x20}
+
+
+class TestClusterResync:
+    def _two_branch_program(self):
+        """Two independent hard branches with disjoint data."""
+        rng = np.random.default_rng(17)
+        b = ProgramBuilder("two-independent")
+        data_a = b.data("a", [int(v) for v in rng.integers(0, 2, 2048)])
+        data_b = b.data("b", [int(v) for v in rng.integers(0, 2, 2048)])
+        ar, br_, i, j, va, vb = b.regs("ar", "br", "i", "j", "va", "vb")
+        b.movi(ar, data_a)
+        b.movi(br_, data_b)
+        b.label("loop")
+        b.muli(i, i, 5)
+        b.addi(i, i, 7)
+        b.andi(i, i, 2047)
+        b.ld(va, base=ar, index=i)
+        b.cmpi(va, 1)
+        b.br("eq", "second")
+        b.label("second")
+        b.muli(j, j, 5)
+        b.addi(j, j, 13)
+        b.andi(j, j, 2047)
+        b.ld(vb, base=br_, index=j)
+        b.cmpi(vb, 1)
+        b.br("eq", "loop_end")
+        b.label("loop_end")
+        b.jmp("loop")
+        return b.build()
+
+    def test_independent_branches_both_covered(self):
+        """A mispredict on one branch must not destroy the other's
+        coverage: both must end up with mostly correct predictions."""
+        program = self._two_branch_program()
+        result = simulate(program, instructions=12_000, warmup=8_000,
+                          br_config=mini())
+        stats = result.runahead.stats
+        covered = [pc for pc in stats.value_checks
+                   if stats.value_checks[pc] > 50]
+        assert len(covered) == 2
+        for pc in covered:
+            accuracy = stats.value_correct[pc] / stats.value_checks[pc]
+            assert accuracy > 0.9, hex(pc)
+        assert result.mpki < 0.5 * simulate(
+            program, instructions=12_000, warmup=8_000).mpki
+
+
+class TestDceMshrs:
+    def test_dce_misses_use_separate_file(self):
+        hierarchy = MemoryHierarchy()
+        hierarchy.access_data(0, cycle=0, from_dce=True)
+        assert hierarchy.dce_mshrs.outstanding_count(0) == 1
+        assert hierarchy.mshrs.outstanding_count(0) == 0
+
+    def test_core_can_merge_with_dce_fill(self):
+        hierarchy = MemoryHierarchy()
+        dce_ready = hierarchy.access_data(0, cycle=0, from_dce=True)
+        core_ready = hierarchy.access_data(1, cycle=1)  # same line
+        assert core_ready == dce_ready  # merged, not a second DRAM trip
+
+
+class TestAblationFlags:
+    def test_in_order_dce_not_faster(self):
+        engine_ooo, cache_a, queues_a = make_engine()
+        engine_ino, cache_b, queues_b = make_engine(
+            BranchRunaheadConfig(dce_in_order=True))
+        # chain with two independent loads feeding the compare
+        uops = [
+            Uop(U.ADDI, dst=1, srcs=(1,), imm=1),
+            Uop(U.LD, dst=2, base=3, index=1),
+            Uop(U.LD, dst=4, base=5, index=1),
+            Uop(U.ADD, dst=2, srcs=(2, 4)),
+            Uop(U.CMPI, srcs=(2,), imm=0),
+            Uop(U.BR, cond=U.EQ, target=0),
+        ]
+        for index, op in enumerate(uops):
+            op.pc = 0x40 - len(uops) + 1 + index
+        rename = local_rename(uops, {})
+        def build_chain():
+            return DependenceChain(
+                branch_pc=0x40, branch_uop=uops[-1], tag=(0x40, WILDCARD),
+                exec_uops=uops, timed_flags=rename.timed_flags,
+                live_ins=rename.live_ins, live_outs=rename.live_outs,
+                pair_map={}, terminated_by=TERMINATED_SELF)
+        regs = [0] * NUM_ARCH_REGS
+        regs[3] = 0x1000
+        regs[5] = 0x9000
+        finishes = {}
+        for label, (engine, cache, queues) in [
+                ("ooo", (engine_ooo, cache_a, queues_a)),
+                ("ino", (engine_ino, cache_b, queues_b))]:
+            cache.install(build_chain())
+            engine.sync(regs, cycle=0)
+            engine.trigger(0x40, True, cycle=0)
+            entry = queues.get(0x40)._entries[0]
+            finishes[label] = entry.available_cycle
+        assert finishes["ino"] > finishes["ooo"]
+
+    def test_disable_affector_guard_blocks_agls(self):
+        program_result = simulate(
+            __import__("repro.workloads.spec.leela_17",
+                       fromlist=["build"]).build(),
+            instructions=10_000, warmup=6_000,
+            br_config=mini(enable_affector_guard=False))
+        system = program_result.runahead
+        assert all(not entry.agl for entry in system.hbt.entries.values())
+        assert all(not chain.has_affector_or_guard
+                   for chain in system.chain_cache.chains())
+
+
+class TestThrottleDecay:
+    def test_throttle_recovers_via_retirements(self):
+        from repro.core.prediction_queue import PredictionQueue
+        queue = PredictionQueue(8)
+        queue.update_throttle(False, True)
+        queue.update_throttle(False, True)
+        assert queue.throttled
+        for _ in range(2 * PredictionQueue.THROTTLE_DECAY_PERIOD):
+            slot = queue.allocate()
+            queue.fill(slot, True, 0)
+            queue.consume(0)
+            queue.retire_one()
+        assert not queue.throttled

@@ -1,0 +1,251 @@
+"""Tests for the memory-system substrate."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memsys.cache import Cache, word_to_line
+from repro.memsys.dram import Dram, DramConfig
+from repro.memsys.hierarchy import HierarchyConfig, MemoryHierarchy
+from repro.memsys.mshr import MshrFile
+from repro.memsys.port import PortTracker
+from repro.memsys.prefetcher import StreamPrefetcher
+
+
+class TestCache:
+    def make(self, ways=2, sets=4):
+        return Cache("t", size_bytes=64 * ways * sets, ways=ways,
+                     line_bytes=64)
+
+    def test_miss_then_hit(self):
+        cache = self.make()
+        assert not cache.access(5, is_write=False)
+        cache.fill(5)
+        assert cache.access(5, is_write=False)
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+
+    def test_lru_eviction(self):
+        cache = self.make(ways=2, sets=1)
+        cache.fill(0)
+        cache.fill(1)
+        cache.access(0, is_write=False)  # 0 becomes MRU
+        cache.fill(2)                    # evicts 1 (LRU)
+        assert cache.lookup(0) and cache.lookup(2)
+        assert not cache.lookup(1)
+
+    def test_dirty_writeback_counted(self):
+        cache = self.make(ways=1, sets=1)
+        cache.fill(0, is_write=True)
+        cache.fill(1)  # evicts dirty line 0
+        assert cache.stats.writebacks == 1
+
+    def test_clean_eviction_no_writeback(self):
+        cache = self.make(ways=1, sets=1)
+        cache.fill(0)
+        cache.fill(1)
+        assert cache.stats.writebacks == 0
+
+    def test_set_mapping(self):
+        cache = self.make(ways=1, sets=4)
+        cache.fill(0)
+        cache.fill(1)  # different set: no conflict
+        assert cache.lookup(0) and cache.lookup(1)
+
+    def test_non_power_of_two_sets_rejected(self):
+        with pytest.raises(ValueError):
+            Cache("bad", size_bytes=3 * 64, ways=1, line_bytes=64)
+
+    def test_prefetch_hit_tracking(self):
+        cache = self.make()
+        cache.fill(9, from_prefetch=True)
+        cache.access(9, is_write=False)
+        assert cache.stats.prefetch_fills == 1
+        assert cache.stats.prefetch_hits == 1
+
+    def test_word_to_line(self):
+        line, offset = word_to_line(17)  # 8 words per 64B line
+        assert line == 2 and offset == 1
+
+
+class TestMshr:
+    def test_merge_in_flight(self):
+        mshrs = MshrFile(4)
+        mshrs.allocate(7, cycle=0, ready=100)
+        assert mshrs.lookup(7, cycle=50) == 100
+        assert mshrs.merges == 1
+
+    def test_completed_not_merged(self):
+        mshrs = MshrFile(4)
+        mshrs.allocate(7, cycle=0, ready=100)
+        assert mshrs.lookup(7, cycle=150) == -1
+
+    def test_capacity_delay(self):
+        mshrs = MshrFile(2)
+        mshrs.allocate(1, cycle=0, ready=100)
+        mshrs.allocate(2, cycle=0, ready=120)
+        delayed = mshrs.allocate(3, cycle=0, ready=200)
+        assert delayed == 300  # waited for line 1 at cycle 100
+        assert mshrs.capacity_stalls == 1
+
+    def test_no_delay_when_space(self):
+        mshrs = MshrFile(8)
+        assert mshrs.allocate(1, cycle=0, ready=50) == 50
+
+    @given(st.lists(st.integers(min_value=0, max_value=30), min_size=1,
+                    max_size=40))
+    @settings(max_examples=30, deadline=None)
+    def test_outstanding_never_exceeds_capacity(self, lines):
+        mshrs = MshrFile(4)
+        cycle = 0
+        for line in lines:
+            if mshrs.lookup(line, cycle) < 0:
+                mshrs.allocate(line, cycle, cycle + 100)
+            assert mshrs.outstanding_count(cycle) <= 4
+            cycle += 3
+
+
+class TestDram:
+    def test_row_hit_faster_than_conflict(self):
+        dram = Dram()
+        first = dram.access(0, cycle=0)          # row conflict (cold)
+        second = dram.access(16, cycle=first)    # same bank 0, same row
+        assert dram.row_conflicts == 1 and dram.row_hits == 1
+        cold_latency = first - 0
+        hit_latency = second - first
+        assert hit_latency < cold_latency
+
+    def test_bank_conflict_serializes(self):
+        dram = Dram(DramConfig(num_banks=2))
+        a = dram.access(0, cycle=0)
+        b = dram.access(2, cycle=0)  # same bank (line % 2)
+        assert b > a
+
+    def test_different_banks_overlap(self):
+        dram = Dram(DramConfig(num_banks=8, t_bus=1))
+        a = dram.access(0, cycle=0)
+        b = dram.access(1, cycle=0)  # different bank
+        assert abs(b - a) <= 2  # only bus transfer separates them
+
+    def test_row_hit_rate(self):
+        dram = Dram()
+        for _ in range(10):
+            dram.access(0, cycle=0)
+        assert dram.row_hit_rate() == pytest.approx(0.9)
+
+
+class TestPrefetcher:
+    def test_detects_ascending_stream(self):
+        prefetcher = StreamPrefetcher(distance=16, degree=1)
+        issued = []
+        for line in range(10):
+            issued.extend(prefetcher.train(line))
+        assert issued  # trained after a couple of strides
+        assert issued[0] >= 16  # prefetch lands distance ahead
+
+    def test_detects_descending_stream(self):
+        prefetcher = StreamPrefetcher(distance=4, degree=1)
+        issued = []
+        for line in range(100, 90, -1):
+            issued.extend(prefetcher.train(line))
+        assert issued and issued[0] == 98 - 4  # distance below trigger line
+
+    def test_random_stream_trains_nothing(self):
+        prefetcher = StreamPrefetcher(window=2)
+        issued = []
+        for line in [5, 900, 17, 4000, 33, 12000]:
+            issued.extend(prefetcher.train(line))
+        assert issued == []
+
+    def test_stream_capacity_replacement(self):
+        prefetcher = StreamPrefetcher(num_streams=2)
+        prefetcher.train(0)
+        prefetcher.train(1000)
+        prefetcher.train(2000)  # evicts the LRU stream
+        assert len(prefetcher._streams) == 2
+
+
+class TestPortTracker:
+    def test_dce_waits_for_free_port(self):
+        ports = PortTracker(num_ports=2)
+        ports.use_core(10)
+        ports.use_core(10)
+        granted = ports.acquire_free(10)
+        assert granted == 11
+
+    def test_dce_gets_idle_cycle_immediately(self):
+        ports = PortTracker(num_ports=2)
+        assert ports.acquire_free(5) == 5
+
+    def test_delay_accounting(self):
+        ports = PortTracker(num_ports=1)
+        ports.use_core(0)
+        ports.use_core(1)
+        ports.acquire_free(0)
+        assert ports.dce_delay_cycles == 2
+
+    def test_prune_keeps_recent(self):
+        ports = PortTracker()
+        for cycle in range(0, 10000, 100):
+            ports.use_core(cycle)
+        ports.prune(9000)
+        assert all(c >= 9000 for c in ports._usage)
+
+
+class TestHierarchy:
+    def small(self):
+        config = HierarchyConfig(
+            l1d_bytes=2 * 64 * 2, l1_ways=2,       # 2 sets x 2 ways
+            l1i_bytes=2 * 64 * 2,
+            l2_bytes=16 * 64 * 4, l2_ways=4,
+        )
+        return MemoryHierarchy(config)
+
+    def test_l1_hit_latency(self):
+        hierarchy = MemoryHierarchy()
+        first = hierarchy.access_data(100, cycle=0)
+        second = hierarchy.access_data(100, cycle=first)
+        assert second - first == hierarchy.config.l1_latency
+
+    def test_miss_slower_than_hit(self):
+        hierarchy = MemoryHierarchy()
+        miss_done = hierarchy.access_data(100, cycle=0)
+        hit_done = hierarchy.access_data(100, cycle=miss_done) - miss_done
+        assert miss_done > hit_done
+
+    def test_l2_hit_between_l1_and_dram(self):
+        hierarchy = self.small()
+        # fill L2 and evict line 0 from the 2-way L1 set without
+        # overflowing the 4-way L2 set
+        hierarchy.access_data(0, cycle=0)
+        for word in [16, 32, 48]:
+            hierarchy.access_data(word * 8, cycle=0)
+        done = hierarchy.access_data(0, cycle=1000)
+        latency = done - 1000
+        cfg = hierarchy.config
+        assert latency == cfg.l1_latency + cfg.l2_latency
+
+    def test_mshr_merge_returns_same_ready(self):
+        hierarchy = MemoryHierarchy()
+        first = hierarchy.access_data(0, cycle=0)
+        merged = hierarchy.access_data(1, cycle=1)  # same line
+        assert merged == first
+
+    def test_core_dce_accounting(self):
+        hierarchy = MemoryHierarchy()
+        hierarchy.access_data(0, cycle=0)
+        hierarchy.access_data(8, cycle=0, from_dce=True)
+        assert hierarchy.core_accesses == 1
+        assert hierarchy.dce_accesses == 1
+
+    def test_sequential_loads_trigger_prefetch(self):
+        hierarchy = MemoryHierarchy()
+        cycle = 0
+        for word in range(0, 8 * 40, 8):  # one load per line, ascending
+            cycle = hierarchy.access_data(word, cycle)
+        assert hierarchy.l2.stats.prefetch_fills > 0
+
+    def test_insn_fetch_hits_after_warmup(self):
+        hierarchy = MemoryHierarchy()
+        hierarchy.access_insn(0, cycle=0)
+        done = hierarchy.access_insn(1, cycle=100)  # same 8-uop line
+        assert done - 100 == hierarchy.config.l1_latency

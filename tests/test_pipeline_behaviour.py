@@ -1,0 +1,193 @@
+"""Behavioural tests of pipeline mechanics that the figures depend on."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import mini
+from repro.emulator.machine import Machine
+from repro.isa.program import ProgramBuilder
+from repro.memsys.hierarchy import HierarchyConfig
+from repro.predictors import BimodalPredictor
+from repro.sim.simulator import simulate
+from repro.uarch.config import CoreConfig
+from repro.uarch.core import CoreModel
+from repro.workloads import suite
+
+
+def run_core(build, instructions=10_000, warmup=5_000, config=None,
+             predictor=None):
+    b = ProgramBuilder()
+    build(b)
+    machine = Machine(b.build())
+    core = CoreModel(config=config, predictor=predictor)
+    return core.run(machine.stream(instructions + warmup), warmup=warmup)
+
+
+def taken_loop(b):
+    """Tight loop of taken branches (stresses fetch-group breaks)."""
+    i = b.reg("i")
+    b.label("top")
+    b.addi(i, i, 1)
+    b.cmpi(i, 0)
+    b.br("ge", "next")     # always taken (forward, to next pc)
+    b.label("next")
+    b.jmp("top")
+
+
+class TestFetchMechanics:
+    def test_taken_branches_limit_fetch(self):
+        """Taken branches end the fetch group: IPC can't reach width."""
+        stats = run_core(taken_loop)
+        assert stats.ipc < 2.0
+
+    def test_wider_mispredict_penalty_hurts(self):
+        def random_branch(b):
+            rng = np.random.default_rng(1)
+            data = b.data("bits", [int(v) for v in rng.integers(0, 2, 2048)])
+            datar, i, v = b.regs("data", "i", "v")
+            b.movi(datar, data)
+            b.label("top")
+            b.muli(i, i, 5)
+            b.addi(i, i, 3)
+            b.andi(i, i, 2047)
+            b.ld(v, base=datar, index=i)
+            b.cmpi(v, 1)
+            b.br("eq", "top")
+            b.jmp("top")
+        fast = run_core(random_branch, predictor=BimodalPredictor(),
+                        config=CoreConfig(mispredict_penalty=2))
+        slow = run_core(random_branch, predictor=BimodalPredictor(),
+                        config=CoreConfig(mispredict_penalty=30))
+        assert slow.ipc < fast.ipc
+
+    def test_deeper_frontend_raises_penalty_cost(self):
+        def random_branch(b):
+            rng = np.random.default_rng(2)
+            data = b.data("bits", [int(v) for v in rng.integers(0, 2, 2048)])
+            datar, i, v = b.regs("data", "i", "v")
+            b.movi(datar, data)
+            b.label("top")
+            b.muli(i, i, 5)
+            b.addi(i, i, 3)
+            b.andi(i, i, 2047)
+            b.ld(v, base=datar, index=i)
+            b.cmpi(v, 1)
+            b.br("eq", "top")
+            b.jmp("top")
+        shallow = run_core(random_branch, predictor=BimodalPredictor(),
+                           config=CoreConfig(frontend_depth=2))
+        deep = run_core(random_branch, predictor=BimodalPredictor(),
+                        config=CoreConfig(frontend_depth=20))
+        assert deep.ipc <= shallow.ipc
+
+
+class TestBackpressure:
+    def test_small_rob_limits_mlp(self):
+        def independent_misses(b):
+            # many independent loads spread over a large footprint
+            base = b.zeros("big", 1)
+            regs = b.regs("base", "a", "c", "d", "e")
+            b.movi(regs[0], base)
+            b.label("top")
+            for step, r in enumerate(regs[1:]):
+                b.addi(r, r, 4093 + step * 911)
+                b.andi(r, r, (1 << 18) - 1)
+                b.ld(r, base=regs[0], index=r)
+            b.jmp("top")
+        big_rob = run_core(independent_misses,
+                           config=CoreConfig(rob_size=256))
+        small_rob = run_core(independent_misses,
+                             config=CoreConfig(rob_size=8))
+        assert small_rob.ipc < big_rob.ipc
+
+    def test_small_rs_limits_issue(self):
+        def mixed(b):
+            regs = b.regs("a", "c", "d", "e")
+            b.label("top")
+            for r in regs:
+                b.addi(r, r, 1)
+                b.muli(r, r, 3)
+            b.jmp("top")
+        big = run_core(mixed, config=CoreConfig(rs_size=92))
+        small = run_core(mixed, config=CoreConfig(rs_size=2))
+        assert small.ipc < big.ipc
+
+
+class TestMemoryInteraction:
+    def test_store_forwarding_beats_cache_roundtrip(self):
+        def spill_reload(b):
+            buf = b.zeros("buf", 4)
+            addr, v = b.regs("addr", "v")
+            b.movi(addr, buf)
+            b.label("top")
+            b.addi(v, v, 1)
+            b.st(v, base=addr)
+            b.ld(v, base=addr)      # forwarded
+            b.jmp("top")
+        stats = run_core(spill_reload)
+        assert stats.ipc > 0.8  # forwarding keeps the loop tight
+
+    def test_l1_sized_footprint_faster_than_l2_sized(self):
+        def walker(size_words):
+            def build(b):
+                base = b.zeros("arr", 1)
+                addr, i, v = b.regs("addr", "i", "v")
+                b.movi(addr, base)
+                b.label("top")
+                b.addi(i, i, 8)     # one load per line
+                b.andi(i, i, size_words - 1)
+                b.ld(v, base=addr, index=i)
+                b.jmp("top")
+            return build
+        small = run_core(walker(2048))       # 16KB: L1-resident
+        large = run_core(walker(262144))     # 2MB: L2/DRAM traffic
+        assert small.ipc > large.ipc
+
+    def test_prefetcher_helps_streaming(self):
+        def streamer(b):
+            base = b.zeros("arr", 1)
+            addr, i, v = b.regs("addr", "i", "v")
+            b.movi(addr, base)
+            b.label("top")
+            b.addi(i, i, 8)
+            b.andi(i, i, (1 << 20) - 1)
+            b.ld(v, base=addr, index=i)
+            b.jmp("top")
+        b = ProgramBuilder()
+        streamer(b)
+        program = b.build()
+        with_pf = CoreModel(hierarchy=None)
+        machine = Machine(program)
+        stats_pf = with_pf.run(machine.stream(12_000), warmup=6_000)
+        from repro.memsys.hierarchy import MemoryHierarchy
+        no_pf_hier = MemoryHierarchy(HierarchyConfig(prefetch_streams=64))
+        no_pf_hier.prefetcher.TRAIN_THRESHOLD = 10**9  # effectively off
+        machine2 = Machine(program)
+        no_pf = CoreModel(hierarchy=no_pf_hier)
+        stats_nopf = no_pf.run(machine2.stream(12_000), warmup=6_000)
+        assert stats_pf.ipc > stats_nopf.ipc
+
+
+class TestDcePortPressure:
+    def test_dce_never_blocks_core_ports(self):
+        """Core demand accesses take ports with priority; attaching BR must
+        not reduce the core's port grants."""
+        program = suite.load("sjeng_06")
+        baseline = simulate(program, instructions=6_000, warmup=3_000)
+        runahead = simulate(program, instructions=6_000, warmup=3_000,
+                            br_config=mini())
+        # the DCE used ports only when free
+        ports = runahead.runahead.dce.ports
+        assert ports.dce_uses > 0
+        assert ports.core_uses > 0
+
+
+class TestHierarchyCounters:
+    def test_dce_access_accounting_consistent(self):
+        program = suite.load("leela_17")
+        result = simulate(program, instructions=6_000, warmup=3_000,
+                          br_config=mini())
+        hierarchy = result.hierarchy
+        dce = result.runahead.dce.stats
+        # every DCE load that reached the hierarchy is accounted there
+        assert hierarchy.dce_accesses == dce.loads_executed

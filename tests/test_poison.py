@@ -1,0 +1,114 @@
+"""Tests for poison-based affector detection (§4.4)."""
+
+from repro.core.merge_point import BloomFilter, MergeResult
+from repro.core.poison import PoisonPass
+from repro.emulator.trace import DynamicUop
+from repro.isa import uop as U
+from repro.isa.registers import reg_bit
+from repro.isa.uop import Uop
+
+SEQ = [0]
+
+
+def dyn(opcode, dst=-1, srcs=(), base=-1, addr=-1, cond=-1, pc=0,
+        taken=False):
+    op = Uop(opcode, dst=dst, srcs=srcs, base=base, cond=cond, target=0)
+    op.pc = pc
+    SEQ[0] += 1
+    return DynamicUop(op, SEQ[0], pc + 1, taken=taken, addr=addr)
+
+
+def make_pass(dest_regs=(), mem_addrs=(), affector_pc=0x99,
+              max_distance=100):
+    mask = 0
+    for reg in dest_regs:
+        mask |= reg_bit(reg)
+    result = MergeResult(
+        branch_pc=affector_pc,
+        merge_pc=0x50,
+        both_path_dest_mask=mask,
+        wrong_path_stores=BloomFilter(),
+        correct_path_stores=set(mem_addrs),
+        guarded_branches=set(),
+    )
+    return PoisonPass(result, max_distance=max_distance)
+
+
+class TestPropagation:
+    def test_branch_sourcing_poison_is_affectee(self):
+        pipeline = make_pass(dest_regs=[3])
+        pipeline.on_retire(dyn(U.CMPI, srcs=(3,), pc=1))   # CC poisoned
+        pipeline.on_retire(dyn(U.BR, cond=U.EQ, pc=2))      # sources CC
+        assert 2 in pipeline.affectees
+
+    def test_poison_propagates_through_alu(self):
+        pipeline = make_pass(dest_regs=[1])
+        pipeline.on_retire(dyn(U.ADD, dst=2, srcs=(1, 4), pc=1))
+        pipeline.on_retire(dyn(U.CMPI, srcs=(2,), pc=2))
+        pipeline.on_retire(dyn(U.BR, cond=U.EQ, pc=3))
+        assert 3 in pipeline.affectees
+
+    def test_clean_overwrite_clears_poison(self):
+        pipeline = make_pass(dest_regs=[1])
+        pipeline.on_retire(dyn(U.MOVI, dst=1, pc=1))        # clean write
+        pipeline.on_retire(dyn(U.CMPI, srcs=(1,), pc=2))
+        pipeline.on_retire(dyn(U.BR, cond=U.EQ, pc=3))
+        assert pipeline.affectees == set()
+
+    def test_load_from_poisoned_address(self):
+        pipeline = make_pass(mem_addrs=[0x1000])
+        pipeline.on_retire(dyn(U.LD, dst=2, base=5, addr=0x1000, pc=1))
+        pipeline.on_retire(dyn(U.CMPI, srcs=(2,), pc=2))
+        pipeline.on_retire(dyn(U.BR, cond=U.EQ, pc=3))
+        assert 3 in pipeline.affectees
+
+    def test_poisoned_store_taints_address(self):
+        pipeline = make_pass(dest_regs=[1])
+        pipeline.on_retire(dyn(U.ST, srcs=(1,), base=6, addr=0x2000, pc=1))
+        pipeline.on_retire(dyn(U.LD, dst=3, base=6, addr=0x2000, pc=2))
+        pipeline.on_retire(dyn(U.CMPI, srcs=(3,), pc=3))
+        pipeline.on_retire(dyn(U.BR, cond=U.EQ, pc=4))
+        assert 4 in pipeline.affectees
+
+    def test_clean_store_untaints_address(self):
+        pipeline = make_pass(dest_regs=[1], mem_addrs=[0x2000])
+        pipeline.on_retire(dyn(U.ST, srcs=(4,), base=6, addr=0x2000, pc=1))
+        pipeline.on_retire(dyn(U.LD, dst=3, base=6, addr=0x2000, pc=2))
+        pipeline.on_retire(dyn(U.CMPI, srcs=(3,), pc=3))
+        pipeline.on_retire(dyn(U.BR, cond=U.EQ, pc=4))
+        assert pipeline.affectees == set()
+
+    def test_wrong_path_store_bloom_poisons_load(self):
+        result = MergeResult(
+            branch_pc=0x99, merge_pc=0x50, both_path_dest_mask=0,
+            wrong_path_stores=BloomFilter(), correct_path_stores=set(),
+            guarded_branches=set())
+        result.wrong_path_stores.add(0x3000)
+        pipeline = PoisonPass(result)
+        pipeline.on_retire(dyn(U.LD, dst=2, base=5, addr=0x3000, pc=1))
+        pipeline.on_retire(dyn(U.CMPI, srcs=(2,), pc=2))
+        pipeline.on_retire(dyn(U.BR, cond=U.EQ, pc=3))
+        assert 3 in pipeline.affectees
+
+
+class TestTermination:
+    def test_ends_at_second_affector_instance(self):
+        pipeline = make_pass(dest_regs=[1], affector_pc=0x99)
+        pipeline.on_retire(dyn(U.CMPI, srcs=(1,), pc=1))
+        result = pipeline.on_retire(dyn(U.BR, cond=U.EQ, pc=0x99))
+        assert result is not None
+        assert not pipeline.active
+
+    def test_ends_at_max_distance(self):
+        pipeline = make_pass(dest_regs=[1], max_distance=3)
+        for step in range(5):
+            pipeline.on_retire(dyn(U.ADDI, dst=9, srcs=(9,), pc=step + 1))
+            if not pipeline.active:
+                break
+        assert not pipeline.active
+
+    def test_inactive_pass_returns_none(self):
+        pipeline = make_pass(dest_regs=[1], max_distance=1)
+        pipeline.on_retire(dyn(U.ADDI, dst=9, srcs=(9,), pc=1))
+        pipeline.on_retire(dyn(U.ADDI, dst=9, srcs=(9,), pc=2))
+        assert pipeline.on_retire(dyn(U.ADDI, dst=9, srcs=(9,), pc=3)) is None

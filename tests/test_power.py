@@ -1,0 +1,79 @@
+"""Tests for the area and energy models."""
+
+import pytest
+
+from repro.core.config import big, core_only, mini
+from repro.power.area import BASELINE_CORE_MM2, AreaReport
+from repro.power.energy import energy_change_percent, estimate
+from repro.sim.simulator import simulate
+from repro.workloads import suite
+
+
+class TestArea:
+    def test_mini_matches_paper(self):
+        """§5.2: DCE area 0.38mm2, about 2.2% of a 16.96mm2 core."""
+        report = AreaReport(mini())
+        assert report.total_mm2 == pytest.approx(0.38, abs=0.03)
+        assert report.fraction_of_core == pytest.approx(0.022, abs=0.004)
+
+    def test_core_only_matches_paper(self):
+        """§1: the Core-Only model costs only ~1.4% of the core."""
+        report = AreaReport(core_only())
+        assert report.fraction_of_core == pytest.approx(0.014, abs=0.003)
+
+    def test_core_only_smaller_than_mini(self):
+        assert AreaReport(core_only()).total_mm2 < AreaReport(mini()).total_mm2
+
+    def test_big_larger_than_mini(self):
+        assert AreaReport(big()).total_mm2 > AreaReport(mini()).total_mm2
+
+    def test_storage_budgets(self):
+        """Table 2: Core-Only 9KB, Mini 17KB."""
+        assert core_only().storage_kb() == pytest.approx(9, abs=1.5)
+        assert mini().storage_kb() == pytest.approx(17, abs=1.5)
+
+    def test_rows_sum_to_total(self):
+        report = AreaReport(mini())
+        rows = dict(report.rows())
+        parts = sum(v for k, v in rows.items() if k != "total")
+        assert parts == pytest.approx(rows["total"])
+
+
+class TestEnergy:
+    @pytest.fixture(scope="class")
+    def results(self):
+        program = suite.load("sjeng_06")
+        baseline = simulate(program, instructions=8_000, warmup=5_000)
+        runahead = simulate(program, instructions=8_000, warmup=5_000,
+                            br_config=mini())
+        return baseline, runahead
+
+    def test_breakdown_positive(self, results):
+        baseline, _ = results
+        report = estimate(baseline)
+        assert report.total > 0
+        assert all(v >= 0 for v in report.breakdown.values())
+
+    def test_br_adds_dce_components(self, results):
+        _, runahead = results
+        report = estimate(runahead)
+        assert "dce uops" in report.breakdown
+        assert report.breakdown["dce uops"] > 0
+        assert report.breakdown["syncs"] > 0
+
+    def test_faster_run_saves_static_energy(self, results):
+        baseline, runahead = results
+        base_report = estimate(baseline)
+        br_report = estimate(runahead)
+        assert br_report.breakdown["static"] \
+            < base_report.breakdown["static"] * 1.05
+
+    def test_energy_change_sign_is_negative_when_much_faster(self, results):
+        """sjeng improves IPC a lot -> energy should drop (Figure 14)."""
+        baseline, runahead = results
+        change = energy_change_percent(baseline, runahead)
+        assert change < 10  # at worst a small increase; typically negative
+
+    def test_identical_runs_zero_change(self, results):
+        baseline, _ = results
+        assert energy_change_percent(baseline, baseline) == 0.0

@@ -1,0 +1,119 @@
+"""Tests for the workload suite: structure, hardness, determinism."""
+
+import pytest
+
+from repro.emulator.machine import Machine
+from repro.predictors.tage_scl import tage_scl_64kb
+from repro.workloads import suite
+from repro.workloads.builder import advance_index
+from repro.workloads.graphs import edge_list, uniform_random_graph
+from repro.isa.program import ProgramBuilder
+
+
+class TestGraphs:
+    def test_csr_consistency(self):
+        graph = uniform_random_graph(64, 4, seed=5)
+        assert graph.num_nodes == 64
+        assert graph.offsets[-1] == graph.num_edges
+        for node in range(graph.num_nodes):
+            assert graph.out_degree(node) == len(graph.neighbors(node))
+
+    def test_columns_sorted_per_node(self):
+        graph = uniform_random_graph(64, 4, seed=5)
+        for node in range(graph.num_nodes):
+            neighbors = graph.neighbors(node)
+            assert neighbors == sorted(neighbors)
+
+    def test_no_self_loops(self):
+        graph = uniform_random_graph(64, 4, seed=5)
+        for node in range(graph.num_nodes):
+            assert node not in graph.neighbors(node)
+
+    def test_edge_list_matches(self):
+        graph = uniform_random_graph(32, 3, seed=6)
+        sources, targets, weights = edge_list(graph)
+        assert len(sources) == len(targets) == len(weights) \
+            == graph.num_edges
+
+    def test_deterministic(self):
+        a = uniform_random_graph(64, 4, seed=5)
+        b = uniform_random_graph(64, 4, seed=5)
+        assert a.columns == b.columns and a.offsets == b.offsets
+
+
+class TestBuilderHelpers:
+    def test_advance_index_rejects_short_period_lcg(self):
+        b = ProgramBuilder()
+        reg = b.reg("x")
+        with pytest.raises(ValueError):
+            advance_index(b, reg, 255, mult=3, add=7)
+        with pytest.raises(ValueError):
+            advance_index(b, reg, 255, mult=5, add=8)
+
+    def test_advance_index_full_period(self):
+        """The LCG must visit many distinct indices (no short cycles)."""
+        b = ProgramBuilder()
+        data = b.zeros("d", 1)
+        x = b.reg("x")
+        b.movi(x, 0)
+        b.label("top")
+        advance_index(b, x, 255)
+        b.jmp("top")
+        machine = Machine(b.build())
+        values = set()
+        for record in machine.stream(3 * 256 * 3):
+            if record.uop.name == "ANDI":
+                values.add(record.dst_value)
+        assert len(values) == 256
+
+
+class TestSuite:
+    def test_registry_shape(self):
+        assert len(suite.BENCHMARKS) == 17
+        assert len(suite.names("spec17")) == 5
+        assert len(suite.names("spec06")) == 6
+        assert len(suite.names("gap")) == 6
+
+    def test_unknown_benchmark_raises(self):
+        with pytest.raises(KeyError):
+            suite.get("nonexistent")
+
+    def test_load_caches(self):
+        assert suite.load("leela_17") is suite.load("leela_17")
+
+    @pytest.mark.parametrize("name", suite.BENCHMARK_NAMES)
+    def test_kernel_runs_forever(self, name):
+        """Every kernel must sustain arbitrary instruction budgets."""
+        machine = Machine(suite.get(name).builder())
+        records = machine.run(3000)
+        assert len(records) == 3000
+        assert not machine.halted
+
+    @pytest.mark.parametrize("name", suite.BENCHMARK_NAMES)
+    def test_kernel_has_hard_branches(self, name):
+        """The suite selects misprediction-intensive workloads (MPKI > 2,
+        §5.1) — every kernel must defeat TAGE-SC-L."""
+        machine = Machine(suite.get(name).builder())
+        predictor = tage_scl_64kb()
+        instructions = 0
+        mispredicts = 0
+        for record in machine.stream(14_000):
+            instructions += 1
+            if record.uop.is_cond_branch:
+                if predictor.predict(record.pc) != record.taken:
+                    if instructions > 6000:  # past warmup
+                        mispredicts += 1
+                predictor.update(record.pc, record.taken)
+        mpki = 1000.0 * mispredicts / 8000
+        assert mpki > 2.0, f"{name} is too predictable (MPKI {mpki:.1f})"
+
+    @pytest.mark.parametrize("name", ["leela_17", "bfs", "tc"])
+    def test_kernel_deterministic(self, name):
+        first = Machine(suite.get(name).builder()).run(2000)
+        second = Machine(suite.get(name).builder()).run(2000)
+        assert [(r.pc, r.taken) for r in first] == \
+            [(r.pc, r.taken) for r in second]
+
+    def test_register_budget_respected(self):
+        for benchmark in suite.BENCHMARKS:
+            benchmark.builder()  # would raise on >32 registers
