@@ -12,6 +12,8 @@ A complete Python implementation of the paper's system and its substrate:
   merge-point prediction, and affector/guard analysis.
 * ``repro.workloads`` — the 17-benchmark suite.
 * ``repro.sim`` / ``repro.power`` — experiment driver, energy/area models.
+* ``repro.telemetry`` — unified stat registry, pipeline event tracing,
+  host-side phase timers (see README "Observability & tracing").
 
 Quickstart::
 
@@ -31,6 +33,7 @@ from repro.predictors.mtage import mtage_sc
 from repro.predictors.tage_scl import TageSCL, tage_scl_64kb, tage_scl_80kb
 from repro.sim.results import SimulationResult
 from repro.sim.simulator import simulate
+from repro.telemetry import StatRegistry, Telemetry, Tracer
 from repro.workloads.suite import BENCHMARK_NAMES
 from repro.workloads.suite import load as load_benchmark
 
@@ -50,6 +53,9 @@ __all__ = [
     "tage_scl_80kb",
     "SimulationResult",
     "simulate",
+    "StatRegistry",
+    "Telemetry",
+    "Tracer",
     "BENCHMARK_NAMES",
     "load_benchmark",
     "__version__",

@@ -5,21 +5,28 @@ Commands
 * ``list`` — the benchmark suite.
 * ``run BENCH`` — simulate one benchmark under a configuration.
 * ``compare BENCH [BENCH...]`` — baseline vs Branch Runahead table.
+* ``stats BENCH`` — dump the full unified stat registry as JSON.
+* ``trace BENCH`` — capture a pipeline event trace (Chrome/JSONL).
 * ``chains BENCH`` — show the dependence chains extracted for a benchmark.
 * ``simpoints BENCH`` — SimPoint-style region selection for a benchmark.
+
+``run`` and ``compare`` accept ``--json`` for machine-readable output.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
 from repro.core import config as br_config
 from repro.predictors.mtage import mtage_sc
 from repro.predictors.tage_scl import tage_scl_64kb, tage_scl_80kb
+from repro.sim.results import ipc_improvement, mpki_improvement
 from repro.sim.sampling import select_simpoints
 from repro.sim.simulator import simulate
+from repro.telemetry import Tracer
 from repro.workloads import suite
 
 CONFIGS = {
@@ -55,6 +62,8 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--config", choices=sorted(CONFIGS), default="mini")
     run.add_argument("--predictor", choices=sorted(PREDICTORS),
                      default="tage64")
+    run.add_argument("--json", action="store_true",
+                     help="emit the full stat registry as JSON")
 
     compare = sub.add_parser(
         "compare", help="baseline vs Branch Runahead table")
@@ -62,8 +71,36 @@ def _build_parser() -> argparse.ArgumentParser:
                          default=None, metavar="BENCH")
     compare.add_argument("--config", choices=["core-only", "mini", "big"],
                          default="mini")
+    compare.add_argument("--predictor", choices=sorted(PREDICTORS),
+                         default="tage64",
+                         help="baseline predictor for both sides")
     compare.add_argument("--instructions", type=int, default=12_000)
     compare.add_argument("--warmup", type=int, default=6_000)
+    compare.add_argument("--json", action="store_true",
+                         help="emit one JSON object per benchmark")
+
+    stats = sub.add_parser(
+        "stats", help="dump the unified stat registry as JSON")
+    add_run_args(stats)
+    stats.add_argument("--config", choices=sorted(CONFIGS), default="mini")
+    stats.add_argument("--predictor", choices=sorted(PREDICTORS),
+                       default="tage64")
+    stats.add_argument("--flat", action="store_true",
+                       help="flat dot-separated names instead of a tree")
+
+    trace = sub.add_parser(
+        "trace", help="capture a pipeline event trace")
+    add_run_args(trace)
+    trace.add_argument("--config", choices=sorted(CONFIGS), default="mini")
+    trace.add_argument("--predictor", choices=sorted(PREDICTORS),
+                       default="tage64")
+    trace.add_argument("--out", default="trace.json",
+                       help="output path (default: trace.json)")
+    trace.add_argument("--format", choices=["chrome", "jsonl"],
+                       default="chrome",
+                       help="chrome://tracing JSON or JSON Lines")
+    trace.add_argument("--capacity", type=int, default=262_144,
+                       help="event ring-buffer size (oldest evict)")
 
     chains = sub.add_parser(
         "chains", help="show the dependence chains a benchmark produces")
@@ -79,6 +116,17 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _simulate_from_args(args, tracer: Optional[Tracer] = None):
+    """Shared ``run``/``stats``/``trace`` driver."""
+    program = suite.load(args.benchmark)
+    config_factory = CONFIGS[args.config]
+    return simulate(
+        program, instructions=args.instructions, warmup=args.warmup,
+        predictor=PREDICTORS[args.predictor](),
+        br_config=config_factory() if config_factory else None,
+        tracer=tracer)
+
+
 def _cmd_list(args) -> int:
     print(f"{'name':14s} {'suite':8s} {'static uops':>12s}")
     for benchmark in suite.BENCHMARKS:
@@ -89,12 +137,10 @@ def _cmd_list(args) -> int:
 
 
 def _cmd_run(args) -> int:
-    program = suite.load(args.benchmark)
-    config_factory = CONFIGS[args.config]
-    result = simulate(
-        program, instructions=args.instructions, warmup=args.warmup,
-        predictor=PREDICTORS[args.predictor](),
-        br_config=config_factory() if config_factory else None)
+    result = _simulate_from_args(args)
+    if args.json:
+        print(result.to_json())
+        return 0
     print(result.summary())
     if result.runahead is not None:
         breakdown = result.runahead.stats.breakdown()
@@ -107,20 +153,63 @@ def _cmd_run(args) -> int:
 def _cmd_compare(args) -> int:
     names = args.benchmarks or suite.BENCHMARK_NAMES
     config_factory = CONFIGS[args.config]
-    print(f"{'benchmark':14s} {'base MPKI':>10s} {'BR MPKI':>10s} "
-          f"{'ΔMPKI':>8s} {'base IPC':>9s} {'BR IPC':>9s} {'ΔIPC':>8s}")
+    predictor_factory = PREDICTORS[args.predictor]
+    if not args.json:
+        print(f"{'benchmark':14s} {'base MPKI':>10s} {'BR MPKI':>10s} "
+              f"{'ΔMPKI':>8s} {'base IPC':>9s} {'BR IPC':>9s} {'ΔIPC':>8s}")
     for name in names:
         program = suite.load(name)
         base = simulate(program, instructions=args.instructions,
-                        warmup=args.warmup)
+                        warmup=args.warmup,
+                        predictor_factory=predictor_factory)
         variant = simulate(program, instructions=args.instructions,
-                           warmup=args.warmup, br_config=config_factory())
-        mpki_delta = 100 * (base.mpki - variant.mpki) / base.mpki \
-            if base.mpki else 0.0
-        ipc_delta = 100 * (variant.ipc - base.ipc) / base.ipc
-        print(f"{name:14s} {base.mpki:>10.2f} {variant.mpki:>10.2f} "
-              f"{mpki_delta:>+7.1f}% {base.ipc:>9.3f} {variant.ipc:>9.3f} "
-              f"{ipc_delta:>+7.1f}%")
+                           warmup=args.warmup,
+                           predictor_factory=predictor_factory,
+                           br_config=config_factory())
+        mpki_delta = mpki_improvement(base.mpki, variant.mpki)
+        ipc_delta = ipc_improvement(base.ipc, variant.ipc)
+        if args.json:
+            print(json.dumps({
+                "benchmark": name,
+                "predictor": args.predictor,
+                "config": args.config,
+                "baseline": {"mpki": base.mpki, "ipc": base.ipc},
+                "branch_runahead": {"mpki": variant.mpki,
+                                    "ipc": variant.ipc},
+                "mpki_improvement_pct": mpki_delta,
+                "ipc_improvement_pct": ipc_delta,
+            }, sort_keys=True))
+        else:
+            print(f"{name:14s} {base.mpki:>10.2f} {variant.mpki:>10.2f} "
+                  f"{mpki_delta:>+7.1f}% {base.ipc:>9.3f} "
+                  f"{variant.ipc:>9.3f} {ipc_delta:>+7.1f}%")
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    result = _simulate_from_args(args)
+    registry = result.build_registry()
+    payload = registry.to_flat_dict() if args.flat else registry.to_dict()
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    if args.capacity < 1:
+        print("repro trace: error: --capacity must be positive",
+              file=sys.stderr)
+        return 2
+    tracer = Tracer(capacity=args.capacity)
+    result = _simulate_from_args(args, tracer=tracer)
+    try:
+        tracer.write(args.out, fmt=args.format)
+    except OSError as error:
+        print(f"repro trace: error: cannot write {args.out}: {error}",
+              file=sys.stderr)
+        return 1
+    dropped = f", {tracer.dropped} evicted" if tracer.dropped else ""
+    print(f"{args.out}: {len(tracer)} events ({args.format}{dropped}) | "
+          f"{result.summary()}")
     return 0
 
 
@@ -157,6 +246,8 @@ COMMANDS = {
     "list": _cmd_list,
     "run": _cmd_run,
     "compare": _cmd_compare,
+    "stats": _cmd_stats,
+    "trace": _cmd_trace,
     "chains": _cmd_chains,
     "simpoints": _cmd_simpoints,
 }

@@ -27,6 +27,7 @@ extraction, and executed only as value forwards here).
 from __future__ import annotations
 
 import heapq
+import time
 from collections import defaultdict, deque
 from typing import Dict, List, Optional, Tuple
 
@@ -44,6 +45,7 @@ from repro.isa.registers import NUM_ARCH_REGS
 from repro.memsys.hierarchy import MemoryHierarchy
 from repro.memsys.port import PortTracker
 from repro.predictors.initiation_predictor import InitiationPredictor
+from repro.telemetry import NULL_TRACER
 from repro.uarch.resources import FuTracker
 
 #: Safety bound on cascade length per trigger (far above any real cascade,
@@ -70,6 +72,22 @@ class DceStats:
         if not self.instances_executed:
             return 0.0
         return self.instance_uops_total / self.instances_executed
+
+    def register_into(self, scope) -> None:
+        """Publish into a ``dce.*`` :class:`~repro.telemetry.StatScope`."""
+        scope.counter("uops_executed").set(self.uops_executed)
+        scope.counter("loads_executed").set(self.loads_executed)
+        scope.counter("flushed_uops").set(self.flushed_uops)
+        scope.counter("syncs").set(self.syncs)
+        scope.counter("parked_events").set(self.parked_events)
+        scope.counter("suppressed_instances").set(self.suppressed_instances)
+        scope.counter("window_stalls").set(self.window_stalls)
+        scope.counter("uncovered_initiations").set(self.uncovered_initiations)
+        chains = scope.scope("chains")
+        chains.counter("instances_executed").set(self.instances_executed)
+        chains.counter("instance_uops_total").set(self.instance_uops_total)
+        chains.gauge("dynamic_average_length").set(
+            self.dynamic_average_chain_length())
 
 
 class _LineageState:
@@ -101,8 +119,13 @@ class DependenceChainEngine:
                  hierarchy: MemoryHierarchy,
                  memory: Memory,
                  ports: PortTracker,
-                 shared_alus: Optional[FuTracker] = None):
+                 shared_alus: Optional[FuTracker] = None,
+                 tracer=None):
         self.config = config
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self._tracing = self.tracer.enabled
+        #: Host wall-clock seconds spent running cascades (phase profiling).
+        self.host_seconds = 0.0
         self.chain_cache = chain_cache
         self.queues = queues
         self.hierarchy = hierarchy
@@ -130,6 +153,9 @@ class DependenceChainEngine:
         self._sync_regs = list(core_regs)
         self._sync_ready = cycle + self.config.sync_latency
         self.stats.syncs += 1
+        if self._tracing:
+            self.tracer.emit("dce_sync", "dce", cycle,
+                             ready=self._sync_ready)
 
     def clear_parked(self, branch_pc: int) -> None:
         """Drop parked continuations of a resynchronized lineage."""
@@ -171,6 +197,7 @@ class DependenceChainEngine:
     # -- cascade ------------------------------------------------------------------
 
     def _run_cascade(self, worklist: deque) -> int:
+        host_start = time.perf_counter()
         executed = 0
         steps = 0
         while worklist and steps < MAX_CASCADE_STEPS:
@@ -183,6 +210,7 @@ class DependenceChainEngine:
             init_cycle, outcome, finish = result
             self._enqueue_successors(worklist, chain, init_cycle, outcome,
                                      finish, state)
+        self.host_seconds += time.perf_counter() - host_start
         return executed
 
     def _enqueue_successors(self, worklist: deque, chain: DependenceChain,
@@ -256,11 +284,19 @@ class DependenceChainEngine:
             self.stats.parked_events += 1
             return None
 
+        if self._tracing:
+            self.tracer.emit("chain_launch", "dce", init_cycle,
+                             pc=chain.branch_pc, length=chain.length,
+                             tag=list(chain.tag))
         outcome, finish = self._execute(chain, init_cycle, state)
         heapq.heappush(finishes, finish)
         queue.fill(slot, outcome, finish)
         self.stats.instances_executed += 1
         self.stats.instance_uops_total += chain.length
+        if self._tracing:
+            self.tracer.emit("chain_complete", "dce", init_cycle,
+                             duration=max(1, finish - init_cycle),
+                             pc=chain.branch_pc, outcome=outcome)
         return init_cycle, outcome, finish
 
     def _execute(self, chain: DependenceChain, start: int,

@@ -18,6 +18,8 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Dict, Optional, Tuple
 
+from repro.telemetry import NULL_TRACER
+
 #: Classification of a fetch-time queue consumption (Figure 12 categories).
 INACTIVE = "inactive"
 LATE = "late"
@@ -49,16 +51,24 @@ class PredictionQueue:
     #: suppressed chain lineage periodically retry).
     THROTTLE_DECAY_PERIOD = 64
 
-    def __init__(self, capacity: int):
+    def __init__(self, capacity: int, branch_pc: int = -1, tracer=None):
         if capacity < 1:
             raise ValueError("queue capacity must be positive")
         self.capacity = capacity
+        self.branch_pc = branch_pc
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self._tracing = self.tracer.enabled
         self._entries: Dict[int, PredictionEntry] = {}
         self.push_ptr = 0     # next slot to allocate
         self.fetch_ptr = 0    # next slot the core consumes
         self.retire_ptr = 0   # oldest slot still occupied
         self.throttle = 0
         self._retires_since_decay = 0
+        # lifetime activity (telemetry export; pointers only track live slots)
+        self.total_allocated = 0
+        self.total_filled = 0
+        self.total_consumed = 0
+        self.total_flushed = 0
 
     # -- slot lifecycle -----------------------------------------------------
 
@@ -72,6 +82,7 @@ class PredictionQueue:
         slot = self.push_ptr
         self._entries[slot] = PredictionEntry()
         self.push_ptr += 1
+        self.total_allocated += 1
         return slot
 
     def fill(self, slot: int, value: bool, available_cycle: int) -> None:
@@ -81,6 +92,10 @@ class PredictionQueue:
             return  # slot flushed before the chain finished
         entry.value = value
         entry.available_cycle = available_cycle
+        self.total_filled += 1
+        if self._tracing:
+            self.tracer.emit("pq_push", "pq", available_cycle,
+                             pc=self.branch_pc, slot=slot, value=value)
 
     def consume(self, cycle: int) -> Tuple[str, Optional[bool]]:
         """Core fetch consumes the next prediction; returns (category, value)."""
@@ -89,9 +104,14 @@ class PredictionQueue:
         entry = self._entries[self.fetch_ptr]
         entry.consumed = True
         self.fetch_ptr += 1
+        self.total_consumed += 1
+        category = READY
         if not entry.filled or entry.available_cycle > cycle:
-            return LATE, entry.value
-        return READY, entry.value
+            category = LATE
+        if self._tracing:
+            self.tracer.emit("pq_pop", "pq", cycle, pc=self.branch_pc,
+                             kind=category, value=entry.value)
+        return category, entry.value
 
     def retire_one(self) -> None:
         """Branch retired: free the oldest slot; slowly decay the throttle."""
@@ -129,6 +149,7 @@ class PredictionQueue:
             if self._entries.pop(slot, None) is not None:
                 dropped += 1
         self.push_ptr = self.fetch_ptr
+        self.total_flushed += dropped
         return dropped
 
     # -- throttling --------------------------------------------------------------
@@ -147,10 +168,15 @@ class PredictionQueue:
 class PredictionQueueFile:
     """The DCE's set of per-branch prediction queues (16 in Mini)."""
 
-    def __init__(self, num_queues: int = 16, entries_per_queue: int = 256):
+    def __init__(self, num_queues: int = 16, entries_per_queue: int = 256,
+                 tracer=None):
         self.num_queues = num_queues
         self.entries_per_queue = entries_per_queue
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self._queues: OrderedDict = OrderedDict()  # branch_pc -> queue
+        #: Activity of queues that were reassigned to another branch.
+        self._retired_totals = {"allocated": 0, "filled": 0,
+                                "consumed": 0, "flushed": 0}
 
     def get(self, branch_pc: int) -> Optional[PredictionQueue]:
         queue = self._queues.get(branch_pc)
@@ -169,16 +195,47 @@ class PredictionQueueFile:
         if queue is not None:
             return queue
         if len(self._queues) < self.num_queues:
-            queue = PredictionQueue(self.entries_per_queue)
+            queue = PredictionQueue(self.entries_per_queue, branch_pc,
+                                    self.tracer)
             self._queues[branch_pc] = queue
             return queue
         for victim_pc, victim in self._queues.items():
             if victim.occupancy() == 0:
+                self._absorb_totals(victim)
                 del self._queues[victim_pc]
-                queue = PredictionQueue(self.entries_per_queue)
+                queue = PredictionQueue(self.entries_per_queue, branch_pc,
+                                        self.tracer)
                 self._queues[branch_pc] = queue
                 return queue
         return None
 
     def covered(self) -> set:
         return set(self._queues)
+
+    # -- telemetry -----------------------------------------------------------
+
+    def _absorb_totals(self, queue: PredictionQueue) -> None:
+        totals = self._retired_totals
+        totals["allocated"] += queue.total_allocated
+        totals["filled"] += queue.total_filled
+        totals["consumed"] += queue.total_consumed
+        totals["flushed"] += queue.total_flushed
+
+    def register_into(self, scope) -> None:
+        """Publish into a ``pq.*`` :class:`~repro.telemetry.StatScope`."""
+        scope.gauge("queues").set(self.num_queues)
+        scope.gauge("entries_per_queue").set(self.entries_per_queue)
+        scope.gauge("queues_assigned").set(len(self._queues))
+        totals = dict(self._retired_totals)
+        occupancy = scope.histogram("occupancy")
+        throttled = 0
+        for queue in self._queues.values():
+            totals["allocated"] += queue.total_allocated
+            totals["filled"] += queue.total_filled
+            totals["consumed"] += queue.total_consumed
+            totals["flushed"] += queue.total_flushed
+            occupancy.record(queue.occupancy())
+            throttled += queue.throttled
+        for name, value in sorted(totals.items()):
+            scope.counter(name).set(value)
+        scope.gauge("queues_throttled").set(throttled)

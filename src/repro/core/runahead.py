@@ -43,6 +43,7 @@ from repro.isa.program import Program
 from repro.memsys.hierarchy import MemoryHierarchy
 from repro.memsys.port import PortTracker
 from repro.predictors.counters import Lfsr
+from repro.telemetry import NULL_TRACER
 from repro.uarch.core import RunaheadHooks
 from repro.uarch.resources import FuTracker
 
@@ -97,6 +98,27 @@ class RunaheadStats:
             "correct": self.pred_correct / total,
         }
 
+    def register_into(self, scope) -> None:
+        """Publish into a ``runahead.*`` scope (Figure 12 feeds ``pred.*``)."""
+        scope.counter("divergences").set(self.divergences)
+        scope.counter("resyncs").set(self.resyncs)
+        scope.counter("chains_extracted").set(self.chains_extracted)
+        scope.counter("chains_with_affector_guard").set(
+            self.chains_with_affector_guard)
+        pred = scope.scope("pred")
+        pred.counter("inactive").set(self.pred_inactive)
+        pred.counter("late").set(self.pred_late)
+        pred.counter("throttled").set(self.pred_throttled)
+        pred.counter("correct").set(self.pred_correct)
+        pred.counter("incorrect").set(self.pred_incorrect)
+        for key, value in self.breakdown().items():
+            pred.gauge(f"{key}_fraction").set(value)
+        accuracy = scope.histogram("value_accuracy_per_branch")
+        for pc in sorted(self.value_checks):
+            checks = self.value_checks[pc]
+            if checks:
+                accuracy.record(self.value_correct.get(pc, 0) / checks)
+
 
 class BranchRunahead(RunaheadHooks):
     """The complete Branch Runahead system, attachable to a CoreModel."""
@@ -109,19 +131,23 @@ class BranchRunahead(RunaheadHooks):
                  dcache_ports: PortTracker,
                  core_alus: Optional[FuTracker] = None,
                  retire_width: int = 4,
-                 track_merge_oracle: bool = False):
+                 track_merge_oracle: bool = False,
+                 tracer=None):
         self.config = config or BranchRunaheadConfig()
         self.program = program
         self.memory = memory
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self._tracing = self.tracer.enabled
         self.hbt = HardBranchTable(self.config)
         self.ceb = ChainExtractionBuffer(self.config, self.hbt, retire_width)
         self.chain_cache = ChainCache(self.config.chain_cache_entries)
         self.queues = PredictionQueueFile(
             self.config.prediction_queues,
-            self.config.prediction_queue_entries)
+            self.config.prediction_queue_entries,
+            tracer=self.tracer)
         self.dce = DependenceChainEngine(
             self.config, self.chain_cache, self.queues, hierarchy, memory,
-            dcache_ports, shared_alus=core_alus)
+            dcache_ports, shared_alus=core_alus, tracer=self.tracer)
         self.merge_predictor = MergePointPredictor(self.config)
         self.oracle: Optional[OracleMergeTracker] = (
             OracleMergeTracker() if track_merge_oracle else None)
@@ -159,6 +185,9 @@ class BranchRunahead(RunaheadHooks):
             return tage_pred, "tage"
         self._pending[pc].append(
             _PendingValidation("used", value, tage_pred, True))
+        if self._tracing:
+            self.tracer.emit("pq_override", "pq", fetch_cycle, pc=pc,
+                             value=bool(value), tage=tage_pred)
         return bool(value), "dce"
 
     # -- RunaheadHooks: resolution ----------------------------------------------
@@ -224,6 +253,9 @@ class BranchRunahead(RunaheadHooks):
         checkpointed fetch pointers provide across mispredictions.
         """
         self.stats.resyncs += 1
+        if self._tracing:
+            self.tracer.emit("resync", "runahead", cycle, pc=record.pc,
+                             taken=record.taken)
         for branch_pc in self.chain_cache.reachable_from(record.pc):
             queue = self.queues.get(branch_pc)
             if queue is not None:
@@ -288,6 +320,10 @@ class BranchRunahead(RunaheadHooks):
         self.stats.chains_extracted += 1
         if chain.has_affector_or_guard:
             self.stats.chains_with_affector_guard += 1
+        if self._tracing:
+            self.tracer.emit("chain_extracted", "runahead", retire_cycle,
+                             duration=max(1, latency), pc=branch_pc,
+                             length=chain.length)
         # the chain becomes usable after the multi-cycle extraction walk
         self._install_delay.append((retire_cycle + latency, chain))
 
@@ -309,3 +345,19 @@ class BranchRunahead(RunaheadHooks):
     def coverage(self) -> set:
         """Branch PCs with at least one installed chain."""
         return self.chain_cache.covered_branches()
+
+    def register_into(self, registry) -> None:
+        """Publish every mechanism's stats: ``runahead.*``, ``dce.*``,
+        ``pq.*`` namespaces of the unified registry."""
+        self.stats.register_into(registry.scope("runahead"))
+        self.queues.register_into(registry.scope("pq"))
+        dce_scope = registry.scope("dce")
+        self.dce.stats.register_into(dce_scope)
+        cache_scope = dce_scope.scope("chain_cache")
+        chains = self.chain_cache.chains()
+        cache_scope.gauge("installed").set(len(chains))
+        cache_scope.gauge("covered_branches").set(
+            len(self.chain_cache.covered_branches()))
+        lengths = cache_scope.histogram("chain_length")
+        for chain in chains:
+            lengths.record(chain.length)

@@ -14,6 +14,7 @@ from repro.memsys.cache import Cache, word_to_line
 from repro.memsys.dram import Dram, DramConfig
 from repro.memsys.mshr import MshrFile
 from repro.memsys.prefetcher import StreamPrefetcher
+from repro.telemetry import NULL_TRACER
 
 
 class HierarchyConfig:
@@ -51,8 +52,11 @@ class HierarchyConfig:
 class MemoryHierarchy:
     """Shared by the core and the DCE (which has no caches of its own)."""
 
-    def __init__(self, config: Optional[HierarchyConfig] = None):
+    def __init__(self, config: Optional[HierarchyConfig] = None,
+                 tracer=None):
         self.config = config or HierarchyConfig()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self._tracing = self.tracer.enabled
         cfg = self.config
         self.l1i = Cache("L1I", cfg.l1i_bytes, cfg.l1_ways, cfg.line_bytes,
                          cfg.l1_latency)
@@ -94,6 +98,9 @@ class MemoryHierarchy:
             return cycle + cfg.l1_latency
 
         # L1 miss: merge with an outstanding fill if possible (either file)
+        if self._tracing:
+            self.tracer.emit("cache_miss", "memsys", cycle, level="L1D",
+                             line=line, from_dce=from_dce, write=is_write)
         merged_ready = self.mshrs.lookup(line, cycle)
         if merged_ready < 0:
             merged_ready = self.dce_mshrs.lookup(line, cycle)
@@ -105,6 +112,9 @@ class MemoryHierarchy:
         if self.l2.access(line, is_write=False):
             ready = l2_start + cfg.l2_latency
         else:
+            if self._tracing:
+                self.tracer.emit("cache_miss", "memsys", l2_start,
+                                 level="L2", line=line, from_dce=from_dce)
             self._train_prefetcher(line)
             ready = self.dram.access(line, l2_start + cfg.l2_latency)
             self.l2.fill(line)
@@ -125,6 +135,9 @@ class MemoryHierarchy:
         line = pc >> 3  # 8 uops per "line"
         if self.l1i.access(line, is_write=False):
             return cycle + cfg.l1_latency
+        if self._tracing:
+            self.tracer.emit("cache_miss", "memsys", cycle, level="L1I",
+                             line=line)
         if self.l2.access(line, is_write=False):
             ready = cycle + cfg.l1_latency + cfg.l2_latency
         else:
@@ -133,3 +146,22 @@ class MemoryHierarchy:
             self.l2.fill(line)
         self.l1i.fill(line)
         return ready
+
+    # -- telemetry -------------------------------------------------------------
+
+    def register_into(self, scope) -> None:
+        """Publish into a ``memsys.*`` :class:`~repro.telemetry.StatScope`."""
+        for cache in (self.l1i, self.l1d, self.l2):
+            sub = scope.scope(cache.name.lower())
+            sub.counter("hits").set(cache.stats.hits)
+            sub.counter("misses").set(cache.stats.misses)
+            sub.counter("writebacks").set(cache.stats.writebacks)
+            sub.counter("prefetch_fills").set(cache.stats.prefetch_fills)
+            sub.counter("prefetch_hits").set(cache.stats.prefetch_hits)
+            sub.gauge("hit_rate").set(cache.stats.hit_rate())
+        dram = scope.scope("dram")
+        dram.counter("accesses").set(self.dram.accesses)
+        dram.counter("row_hits").set(self.dram.row_hits)
+        dram.counter("row_conflicts").set(self.dram.row_conflicts)
+        scope.counter("core_accesses").set(self.core_accesses)
+        scope.counter("dce_accesses").set(self.dce_accesses)

@@ -8,22 +8,46 @@ geometric (IPC) and arithmetic (MPKI) means, as the paper does.
 
 from __future__ import annotations
 
+import json
 import math
-from typing import Iterable, List
+from typing import Iterable, List, Optional
 
+from repro.telemetry import StatRegistry, Telemetry
 from repro.uarch.stats import CoreStats
+
+
+def register_predictor(scope, predictor, core: CoreStats) -> None:
+    """Publish baseline-predictor attribution into a ``predictor.*`` scope.
+
+    ``lookups``/``mispredicts`` describe the *baseline predictor alone*
+    (what it would have done on every conditional branch), independent of
+    any prediction-queue override — the per-mechanism attribution the
+    paper's Figure 12 and LDBP's evaluation rely on.
+    """
+    scope.counter("lookups").set(core.cond_branches)
+    scope.counter("mispredicts").set(core.baseline_mispredicts)
+    accuracy = 1.0
+    if core.cond_branches:
+        accuracy = 1.0 - core.baseline_mispredicts / core.cond_branches
+    scope.gauge("accuracy").set(accuracy)
+    if predictor is not None:
+        scope.gauge("storage_bits").set(predictor.storage_bits())
+        scope.gauge("storage_kb").set(predictor.storage_kb())
 
 
 class SimulationResult:
     """Everything produced by one simulated region."""
 
     def __init__(self, program_name: str, core: CoreStats, hierarchy=None,
-                 predictor=None, runahead=None):
+                 predictor=None, runahead=None,
+                 telemetry: Optional[Telemetry] = None):
         self.program_name = program_name
         self.core = core
         self.hierarchy = hierarchy
         self.predictor = predictor
         self.runahead = runahead
+        self.telemetry = telemetry
+        self._registry: Optional[StatRegistry] = None
 
     @property
     def ipc(self) -> float:
@@ -54,6 +78,57 @@ class SimulationResult:
                      f" syncs={dce.syncs}"
                      f" chains={len(self.runahead.chain_cache)}")
         return text
+
+    # -- telemetry export -------------------------------------------------------
+
+    def build_registry(self) -> StatRegistry:
+        """Collect every mechanism's stats into one unified registry.
+
+        Registration happens here, at export time, so the timing hot path
+        never pays for the registry; the namespaces mirror the mechanisms:
+        ``core.*``, ``predictor.*``, ``memsys.*`` always, plus
+        ``runahead.*`` / ``dce.*`` / ``pq.*`` when Branch Runahead is
+        attached and ``host.*`` when phase timers ran.
+        """
+        if self._registry is not None:
+            return self._registry  # histograms must not double-record
+        registry = self.telemetry.registry if self.telemetry \
+            else StatRegistry()
+        self._registry = registry
+        self.core.register_into(registry.scope("core"))
+        register_predictor(registry.scope("predictor"), self.predictor,
+                           self.core)
+        if self.hierarchy is not None:
+            self.hierarchy.register_into(registry.scope("memsys"))
+        if self.runahead is not None:
+            self.runahead.register_into(registry)
+        if self.telemetry is not None:
+            self.telemetry.timers.register_into(
+                registry.scope("host").scope("phase"))
+            tracer = self.telemetry.tracer
+            if tracer.enabled:
+                trace_scope = registry.scope("host").scope("trace")
+                trace_scope.counter("events_emitted").set(tracer.emitted)
+                trace_scope.counter("events_dropped").set(tracer.dropped)
+        return registry
+
+    def to_dict(self) -> dict:
+        """The machine-readable result document (``repro run --json``)."""
+        document = {
+            "benchmark": self.program_name,
+            "predictor": getattr(self.predictor, "name", None),
+            "branch_runahead": self.runahead is not None,
+            "ipc": self.ipc,
+            "mpki": self.mpki,
+            "stats": self.build_registry().to_dict(),
+        }
+        if self.runahead is not None:
+            document["prediction_breakdown"] = \
+                self.runahead.stats.breakdown()
+        return document
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
 
 
 def mpki_improvement(baseline_mpki: float, new_mpki: float) -> float:

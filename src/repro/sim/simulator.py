@@ -4,6 +4,14 @@
 out-of-order core, the memory hierarchy, the baseline predictor, and
 (optionally) Branch Runahead, runs a region, and returns a
 :class:`~repro.sim.results.SimulationResult`.
+
+Observability: every run owns a :class:`~repro.telemetry.Telemetry`
+bundle.  Its registry is populated lazily at export time (the hot path
+never touches it); its tracer — :data:`~repro.telemetry.NULL_TRACER`
+unless the caller passes a real one — feeds the pipeline event trace; its
+phase timers record where *host* wall-clock time goes (setup, functional
+emulation, timing model, DCE cascades), the baseline future perf PRs
+measure against.
 """
 
 from __future__ import annotations
@@ -18,6 +26,7 @@ from repro.memsys.hierarchy import HierarchyConfig, MemoryHierarchy
 from repro.predictors.base import BranchPredictor
 from repro.predictors.tage_scl import tage_scl_64kb
 from repro.sim.results import SimulationResult
+from repro.telemetry import Telemetry, Tracer
 from repro.uarch.config import CoreConfig
 from repro.uarch.core import CoreModel
 
@@ -31,44 +40,69 @@ def simulate(program: Program,
              br_config: Optional[BranchRunaheadConfig] = None,
              core_config: Optional[CoreConfig] = None,
              hierarchy_config: Optional[HierarchyConfig] = None,
-             track_merge_oracle: bool = False) -> SimulationResult:
+             track_merge_oracle: bool = False,
+             telemetry: Optional[Telemetry] = None,
+             tracer: Optional[Tracer] = None) -> SimulationResult:
     """Run one region of ``program`` and collect every statistic.
 
     ``warmup`` instructions run first with full training but are excluded
     from reported counts.  ``start_instruction`` fast-forwards the program
     functionally before timing begins (SimPoint-style region simulation).
     Passing ``br_config`` attaches Branch Runahead; ``predictor`` defaults
-    to a fresh 64KB TAGE-SC-L.
+    to a fresh 64KB TAGE-SC-L.  Pass ``tracer`` (or a full ``telemetry``
+    bundle) to capture pipeline events; with neither, tracing is fully
+    disabled — each component checks the no-op sink once at construction
+    and emits nothing on the hot path.
     """
+    if telemetry is None:
+        telemetry = Telemetry(tracer=tracer)
+    elif tracer is not None:
+        telemetry.tracer = tracer
+    timers = telemetry.timers
+
     if predictor is None:
         predictor = predictor_factory() if predictor_factory \
             else tage_scl_64kb()
-    machine = Machine(program)
-    for _ in range(start_instruction):
-        if machine.step() is None:
-            break
-    hierarchy = MemoryHierarchy(hierarchy_config)
-    core_config = core_config or CoreConfig()
-    core = CoreModel(config=core_config, hierarchy=hierarchy,
-                     predictor=predictor)
-    runahead = None
-    if br_config is not None:
-        runahead = BranchRunahead(
-            br_config, program, machine.memory, hierarchy,
-            core.dcache_ports,
-            core_alus=core.alus if br_config.share_core_alus else None,
-            retire_width=core_config.retire_width,
-            track_merge_oracle=track_merge_oracle)
-        core.runahead = runahead
+    with timers.phase("setup"):
+        machine = Machine(program)
+        hierarchy = MemoryHierarchy(hierarchy_config,
+                                    tracer=telemetry.tracer)
+        core_config = core_config or CoreConfig()
+        core = CoreModel(config=core_config, hierarchy=hierarchy,
+                         predictor=predictor, tracer=telemetry.tracer)
+        runahead = None
+        if br_config is not None:
+            runahead = BranchRunahead(
+                br_config, program, machine.memory, hierarchy,
+                core.dcache_ports,
+                core_alus=core.alus if br_config.share_core_alus else None,
+                retire_width=core_config.retire_width,
+                track_merge_oracle=track_merge_oracle,
+                tracer=telemetry.tracer)
+            core.runahead = runahead
+
+    if start_instruction:
+        with timers.phase("fast_forward"):
+            for _ in range(start_instruction):
+                if machine.step() is None:
+                    break
 
     total = instructions + warmup
-    core_stats = core.run(machine.stream(total), warmup=warmup,
-                          initial_regs=machine.regs if start_instruction
-                          else None)
+    stream = timers.wrap_iter("emulation", machine.stream(total))
+    with timers.phase("timing"):
+        core_stats = core.run(stream, warmup=warmup,
+                              initial_regs=machine.regs if start_instruction
+                              else None)
+    # the DCE self-times its cascades; surface it as a first-class phase
+    # (a subset of "timing", which also contains "emulation")
+    if runahead is not None:
+        timers.add("dce", runahead.dce.host_seconds)
+
     return SimulationResult(
         program_name=program.name,
         core=core_stats,
         hierarchy=hierarchy,
         predictor=predictor,
         runahead=runahead,
+        telemetry=telemetry,
     )

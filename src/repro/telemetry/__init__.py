@@ -1,0 +1,45 @@
+"""Unified observability for the reproduction (registry + tracing + timers).
+
+See :mod:`repro.telemetry.registry` for the stat store,
+:mod:`repro.telemetry.tracer` for pipeline event tracing, and
+:mod:`repro.telemetry.timers` for host-side wall-clock profiling.
+:class:`Telemetry` bundles the three so ``simulate()`` can thread one
+object through every mechanism.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.telemetry.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    StatRegistry,
+    StatScope,
+)
+from repro.telemetry.timers import PhaseTimers
+from repro.telemetry.tracer import (
+    NULL_TRACER,
+    NullTracer,
+    TraceEvent,
+    Tracer,
+    iter_named,
+)
+
+__all__ = [
+    "Counter", "Gauge", "Histogram", "StatRegistry", "StatScope",
+    "PhaseTimers", "NULL_TRACER", "NullTracer", "TraceEvent", "Tracer",
+    "Telemetry", "iter_named",
+]
+
+
+class Telemetry:
+    """Registry + tracer + timers for one simulation run."""
+
+    def __init__(self, tracer: Optional[Tracer] = None,
+                 registry: Optional[StatRegistry] = None,
+                 timers: Optional[PhaseTimers] = None):
+        self.registry = registry if registry is not None else StatRegistry()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.timers = timers if timers is not None else PhaseTimers()

@@ -1,0 +1,63 @@
+"""Host-side wall-clock phase timers.
+
+The simulator is pure Python; knowing where *host* time goes (functional
+emulation vs. the core timing model vs. DCE cascades) is the baseline every
+future performance PR measures against.  :class:`PhaseTimers` accumulates
+``time.perf_counter`` seconds per named phase, supports nesting-free
+re-entry (a phase may be entered many times; durations add), and can wrap
+an iterator so a generator's production cost is attributed to its own
+phase even though consumption is interleaved with another phase.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterable, Iterator
+
+
+class PhaseTimers:
+    """Accumulated wall-clock seconds per named phase."""
+
+    def __init__(self):
+        self._elapsed: Dict[str, float] = {}
+
+    def add(self, phase: str, seconds: float) -> None:
+        self._elapsed[phase] = self._elapsed.get(phase, 0.0) + seconds
+
+    @contextmanager
+    def phase(self, name: str):
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add(name, time.perf_counter() - start)
+
+    def wrap_iter(self, name: str, iterable: Iterable) -> Iterator:
+        """Attribute time spent *producing* items to phase ``name``.
+
+        Used on the functional emulator's uop stream: the core timing model
+        consumes it lazily, so without this the emulator's cost would be
+        booked under the timing phase.
+        """
+        iterator = iter(iterable)
+        while True:
+            start = time.perf_counter()
+            try:
+                item = next(iterator)
+            except StopIteration:
+                self.add(name, time.perf_counter() - start)
+                return
+            self.add(name, time.perf_counter() - start)
+            yield item
+
+    def elapsed(self, phase: str) -> float:
+        return self._elapsed.get(phase, 0.0)
+
+    def to_dict(self) -> Dict[str, float]:
+        return dict(self._elapsed)
+
+    def register_into(self, scope) -> None:
+        """Export every phase as a ``<name>_seconds`` gauge."""
+        for phase, seconds in sorted(self._elapsed.items()):
+            scope.gauge(f"{phase}_seconds").set(seconds)

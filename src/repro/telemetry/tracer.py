@@ -1,0 +1,192 @@
+"""Pipeline event tracing.
+
+A bounded ring buffer of structured events emitted from the hot paths of
+the core model, Branch Runahead, the DCE, the prediction queues, and the
+memory hierarchy.  Timestamps are *simulated cycles*, not wall clock, so a
+trace lines up with the timing model's view of the run.
+
+Export formats:
+
+* **JSON Lines** — one event per line, trivially greppable/parsable.
+* **Chrome ``trace_event``** — loadable in ``chrome://tracing`` / Perfetto;
+  each event category gets its own track, durations become complete ("X")
+  events and point events become instants ("i").
+
+Zero cost when disabled: components capture ``tracer.enabled`` **once** at
+construction into a plain boolean and guard every emission with it, so a
+disabled run performs no per-event attribute lookups or calls beyond that
+single boolean check.  :data:`NULL_TRACER` is the shared disabled sink.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import Dict, Iterable, List, Optional
+
+#: Category → Chrome-trace thread id, so each mechanism gets its own track.
+_CATEGORY_TRACKS = {"core": 1, "runahead": 2, "dce": 3, "pq": 4,
+                    "memsys": 5}
+_DEFAULT_TRACK = 15
+
+
+class TraceEvent:
+    """One structured event: a named point (or span) in simulated time."""
+
+    __slots__ = ("name", "category", "cycle", "duration", "args")
+
+    def __init__(self, name: str, category: str, cycle: int,
+                 duration: Optional[int] = None,
+                 args: Optional[Dict] = None):
+        self.name = name
+        self.category = category
+        self.cycle = cycle
+        self.duration = duration
+        self.args = args or {}
+
+    def to_dict(self) -> Dict:
+        record = {"name": self.name, "cat": self.category,
+                  "cycle": self.cycle}
+        if self.duration is not None:
+            record["dur"] = self.duration
+        if self.args:
+            record["args"] = self.args
+        return record
+
+    @classmethod
+    def from_dict(cls, record: Dict) -> "TraceEvent":
+        return cls(record["name"], record["cat"], record["cycle"],
+                   record.get("dur"), record.get("args"))
+
+    def to_chrome(self) -> Dict:
+        event = {
+            "name": self.name,
+            "cat": self.category,
+            "pid": 0,
+            "tid": _CATEGORY_TRACKS.get(self.category, _DEFAULT_TRACK),
+            "ts": self.cycle,  # one simulated cycle rendered as 1us
+            "args": self.args,
+        }
+        if self.duration is not None:
+            event["ph"] = "X"
+            event["dur"] = self.duration
+        else:
+            event["ph"] = "i"
+            event["s"] = "t"
+        return event
+
+    def __eq__(self, other) -> bool:
+        return (isinstance(other, TraceEvent)
+                and self.to_dict() == other.to_dict())
+
+    def __repr__(self) -> str:
+        span = f"+{self.duration}" if self.duration is not None else ""
+        return (f"TraceEvent({self.category}/{self.name} "
+                f"@{self.cycle}{span} {self.args})")
+
+
+class Tracer:
+    """Bounded ring buffer of :class:`TraceEvent`; oldest events evict."""
+
+    enabled = True
+
+    def __init__(self, capacity: int = 65536):
+        if capacity < 1:
+            raise ValueError("tracer capacity must be positive")
+        self.capacity = capacity
+        self._events: deque = deque(maxlen=capacity)
+        self.emitted = 0
+
+    # -- emission -----------------------------------------------------------
+
+    def emit(self, name: str, category: str, cycle: int,
+             duration: Optional[int] = None, **args) -> None:
+        self.emitted += 1
+        self._events.append(
+            TraceEvent(name, category, cycle, duration, args or None))
+
+    # -- inspection -----------------------------------------------------------
+
+    def events(self) -> List[TraceEvent]:
+        return list(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    @property
+    def dropped(self) -> int:
+        """Events evicted by the ring bound."""
+        return self.emitted - len(self._events)
+
+    def clear(self) -> None:
+        self._events.clear()
+        self.emitted = 0
+
+    # -- export ---------------------------------------------------------------
+
+    def to_jsonl(self) -> str:
+        return "\n".join(json.dumps(event.to_dict(), sort_keys=True)
+                         for event in self._events)
+
+    @staticmethod
+    def parse_jsonl(text: str) -> List[TraceEvent]:
+        return [TraceEvent.from_dict(json.loads(line))
+                for line in text.splitlines() if line.strip()]
+
+    def to_chrome_trace(self) -> Dict:
+        """The ``chrome://tracing`` JSON object with named tracks."""
+        metadata = [
+            {"name": "thread_name", "ph": "M", "pid": 0, "tid": tid,
+             "args": {"name": category}}
+            for category, tid in sorted(_CATEGORY_TRACKS.items(),
+                                        key=lambda item: item[1])
+        ]
+        return {
+            "displayTimeUnit": "ns",
+            "metadata": {"clock": "simulated-cycles",
+                         "emitted": self.emitted,
+                         "dropped": self.dropped},
+            "traceEvents": metadata + [event.to_chrome()
+                                       for event in self._events],
+        }
+
+    def write(self, path: str, fmt: str = "chrome") -> None:
+        """Write the buffer to ``path`` as ``chrome`` or ``jsonl``."""
+        if fmt == "chrome":
+            payload = json.dumps(self.to_chrome_trace(), indent=1)
+        elif fmt == "jsonl":
+            payload = self.to_jsonl() + "\n"
+        else:
+            raise ValueError(f"unknown trace format {fmt!r}")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(payload)
+
+
+class NullTracer:
+    """Disabled sink; components check :attr:`enabled` once and never call
+    :meth:`emit` on the hot path."""
+
+    enabled = False
+    capacity = 0
+    emitted = 0
+    dropped = 0
+
+    def emit(self, name: str, category: str, cycle: int,
+             duration: Optional[int] = None, **args) -> None:
+        """No-op (present so mis-wired call sites fail soft, not hard)."""
+
+    def events(self) -> List[TraceEvent]:
+        return []
+
+    def __len__(self) -> int:
+        return 0
+
+
+#: Shared disabled sink — the default everywhere a tracer is optional.
+NULL_TRACER = NullTracer()
+
+
+def iter_named(events: Iterable[TraceEvent], name: str
+               ) -> List[TraceEvent]:
+    """Convenience filter used by tests and analysis scripts."""
+    return [event for event in events if event.name == name]

@@ -22,6 +22,7 @@ from repro.isa.registers import NUM_ARCH_REGS
 from repro.memsys.hierarchy import MemoryHierarchy
 from repro.memsys.port import PortTracker
 from repro.predictors.base import BranchPredictor
+from repro.telemetry import NULL_TRACER
 from repro.uarch.config import CoreConfig
 from repro.uarch.lsq import StoreForwarder
 from repro.uarch.resources import FuTracker, RingTracker
@@ -65,11 +66,16 @@ class CoreModel:
                  config: Optional[CoreConfig] = None,
                  hierarchy: Optional[MemoryHierarchy] = None,
                  predictor: Optional[BranchPredictor] = None,
-                 runahead: Optional[RunaheadHooks] = None):
+                 runahead: Optional[RunaheadHooks] = None,
+                 tracer=None):
         self.config = config or CoreConfig()
         self.hierarchy = hierarchy or MemoryHierarchy()
         self.predictor = predictor
         self.runahead = runahead or RunaheadHooks()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        # the one-time no-op-sink check: per-event emission is guarded by
+        # this plain boolean, never by a call into a disabled tracer
+        self._tracing = self.tracer.enabled
         cfg = self.config
         self.alus = FuTracker(cfg.num_alus)
         self.dcache_ports = PortTracker(cfg.num_dcache_ports)
@@ -141,6 +147,9 @@ class CoreModel:
             self._next_fetch_cycle = fetch_cycle
             self._fetch_slots_used = 0
         self._fetch_slots_used += 1
+        if self._tracing:
+            self.tracer.emit("fetch", "core", fetch_cycle,
+                             pc=record.pc, seq=record.seq)
 
         # ---- branch prediction at fetch ------------------------------------
         mispredicted = False
@@ -159,6 +168,8 @@ class CoreModel:
             if source == "dce":
                 self.stats.dce_predictions_used += 1
             mispredicted = final_pred != record.taken
+            if tage_pred != record.taken:
+                self.stats.baseline_mispredicts += 1
             if self.predictor is not None:
                 self.predictor.update(record.pc, record.taken)
             if mispredicted:
@@ -197,6 +208,10 @@ class CoreModel:
 
         # ---- branch resolution / redirect ------------------------------------
         if op.is_cond_branch:
+            if self._tracing:
+                self.tracer.emit("branch_resolve", "core", complete,
+                                 pc=record.pc, taken=record.taken,
+                                 mispredicted=mispredicted, source=source)
             if mispredicted:
                 resume = complete + cfg.mispredict_penalty
                 if resume > self._next_fetch_cycle:
@@ -236,6 +251,9 @@ class CoreModel:
         # ---- architectural state + retire hooks --------------------------------
         for dst in op.dst_regs:
             self.retired_regs[dst] = record.dst_value
+        if self._tracing:
+            self.tracer.emit("retire", "core", retire,
+                             pc=record.pc, seq=record.seq)
         self.runahead.on_retire(record, retire, mispredicted,
                                 self.retired_regs)
 

@@ -22,6 +22,10 @@ class CoreStats:
         self.branch_mispredicts: Dict[int, int] = defaultdict(int)
         #: Predictions served by the DCE prediction queues (vs TAGE).
         self.dce_predictions_used = 0
+        #: Mispredictions the *baseline predictor* alone would have made,
+        #: regardless of any prediction-queue override (per-mechanism
+        #: attribution, as in LDBP's evaluation).
+        self.baseline_mispredicts = 0
 
     @property
     def ipc(self) -> float:
@@ -39,12 +43,57 @@ class CoreStats:
         return 1.0 - self.mispredicts / self.cond_branches
 
     def hardest_branches(self, count: int = 32):
-        """PCs of the most-mispredicted branches (Figure 1's 'hard' set)."""
+        """PCs of the most-mispredicted branches (Figure 1's 'hard' set).
+
+        Ties on mispredict count break toward the lower PC so the selected
+        set is deterministic rather than dict-insertion-order dependent.
+        """
         ranked = sorted(self.branch_mispredicts.items(),
-                        key=lambda item: item[1], reverse=True)
+                        key=lambda item: (-item[1], item[0]))
         return [pc for pc, _ in ranked[:count]]
 
     def summary(self) -> str:
         return (f"{self.instructions} instrs, {self.cycles} cycles, "
                 f"IPC={self.ipc:.3f}, MPKI={self.mpki:.2f}, "
                 f"branch acc={self.branch_accuracy() * 100:.2f}%")
+
+    # -- telemetry ----------------------------------------------------------
+
+    def register_into(self, scope) -> None:
+        """Publish into a ``core.*`` :class:`~repro.telemetry.StatScope`."""
+        scope.counter("instructions").set(self.instructions)
+        scope.counter("cycles").set(self.cycles)
+        scope.gauge("ipc").set(self.ipc)
+        scope.gauge("mpki").set(self.mpki)
+        fetch = scope.scope("fetch")
+        fetch.counter("cond_branches").set(self.cond_branches)
+        fetch.counter("mispredicts").set(self.mispredicts)
+        fetch.counter("taken_branches").set(self.taken_branches)
+        fetch.counter("dce_predictions_used").set(self.dce_predictions_used)
+        fetch.counter("baseline_mispredicts").set(self.baseline_mispredicts)
+        fetch.gauge("branch_accuracy").set(self.branch_accuracy())
+        mem = scope.scope("mem")
+        mem.counter("loads").set(self.loads)
+        mem.counter("stores").set(self.stores)
+        branches = scope.scope("branches")
+        branches.gauge("static_cond").set(len(self.branch_counts))
+        misp_histogram = branches.histogram("mispredicts_per_pc")
+        for pc in sorted(self.branch_mispredicts):
+            misp_histogram.record(self.branch_mispredicts[pc])
+
+    def to_dict(self) -> Dict:
+        """Standalone structured export (no registry required)."""
+        return {
+            "instructions": self.instructions,
+            "cycles": self.cycles,
+            "ipc": self.ipc,
+            "mpki": self.mpki,
+            "cond_branches": self.cond_branches,
+            "mispredicts": self.mispredicts,
+            "taken_branches": self.taken_branches,
+            "loads": self.loads,
+            "stores": self.stores,
+            "dce_predictions_used": self.dce_predictions_used,
+            "baseline_mispredicts": self.baseline_mispredicts,
+            "branch_accuracy": self.branch_accuracy(),
+        }

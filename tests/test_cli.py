@@ -1,0 +1,96 @@
+"""Smoke tests for the observability-facing CLI commands."""
+
+import json
+
+from repro.cli import main as cli_main
+from repro.sim.results import ipc_improvement, mpki_improvement
+
+
+class TestRunJson:
+    def test_run_json_emits_stat_namespaces(self, capsys):
+        code = cli_main(["run", "mcf_06", "--config", "mini",
+                         "--instructions", "2000", "--warmup", "1000",
+                         "--json"])
+        assert code == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["benchmark"] == "mcf_06"
+        assert document["branch_runahead"] is True
+        for namespace in ("core", "predictor", "dce", "pq"):
+            assert namespace in document["stats"], f"missing {namespace}.*"
+
+    def test_run_json_baseline_has_no_dce(self, capsys):
+        code = cli_main(["run", "sjeng_06", "--config", "none",
+                         "--instructions", "1000", "--warmup", "500",
+                         "--json"])
+        assert code == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["branch_runahead"] is False
+        assert "dce" not in document["stats"]
+        assert "predictor" in document["stats"]
+
+
+class TestStatsCommand:
+    def test_stats_dumps_tree(self, capsys):
+        code = cli_main(["stats", "sjeng_06", "--config", "mini",
+                         "--instructions", "1000", "--warmup", "500"])
+        assert code == 0
+        tree = json.loads(capsys.readouterr().out)
+        assert tree["core"]["instructions"] == 1000
+        assert "pq" in tree and "dce" in tree
+
+    def test_stats_flat_names(self, capsys):
+        code = cli_main(["stats", "sjeng_06", "--config", "mini",
+                         "--instructions", "1000", "--warmup", "500",
+                         "--flat"])
+        assert code == 0
+        flat = json.loads(capsys.readouterr().out)
+        assert flat["core.instructions"] == 1000
+        assert any(name.startswith("pq.") for name in flat)
+
+
+class TestTraceCommand:
+    def test_trace_writes_chrome_file(self, tmp_path, capsys):
+        out = tmp_path / "trace.json"
+        code = cli_main(["trace", "mcf_06", "--config", "mini",
+                         "--instructions", "2000", "--warmup", "1000",
+                         "--out", str(out)])
+        assert code == 0
+        assert "events" in capsys.readouterr().out
+        chrome = json.loads(out.read_text())
+        names = {event["name"] for event in chrome["traceEvents"]
+                 if event["ph"] != "M"}
+        assert "chain_launch" in names
+        assert "pq_override" in names or "pq_pop" in names
+
+    def test_trace_writes_jsonl(self, tmp_path):
+        out = tmp_path / "trace.jsonl"
+        code = cli_main(["trace", "sjeng_06", "--config", "mini",
+                         "--instructions", "1000", "--warmup", "500",
+                         "--out", str(out), "--format", "jsonl"])
+        assert code == 0
+        lines = [json.loads(line)
+                 for line in out.read_text().splitlines() if line]
+        assert lines and all("name" in line and "cycle" in line
+                             for line in lines)
+
+
+class TestCompare:
+    def test_compare_accepts_predictor_flag(self, capsys):
+        code = cli_main(["compare", "sjeng_06", "--predictor", "tage80",
+                         "--instructions", "1000", "--warmup", "500"])
+        assert code == 0
+        assert "ΔMPKI" in capsys.readouterr().out
+
+    def test_compare_json_rows(self, capsys):
+        code = cli_main(["compare", "sjeng_06", "--json",
+                         "--instructions", "1000", "--warmup", "500"])
+        assert code == 0
+        row = json.loads(capsys.readouterr().out.strip())
+        assert row["benchmark"] == "sjeng_06"
+        assert "mpki_improvement_pct" in row
+        assert row["predictor"] == "tage64"
+
+    def test_zero_baselines_do_not_divide_by_zero(self):
+        # the helpers _cmd_compare now delegates to must stay total
+        assert mpki_improvement(0.0, 5.0) == 0.0
+        assert ipc_improvement(0.0, 1.0) == 0.0
