@@ -4,7 +4,10 @@ Commands
 --------
 * ``list`` — the benchmark suite.
 * ``run BENCH`` — simulate one benchmark under a configuration.
-* ``compare BENCH [BENCH...]`` — baseline vs Branch Runahead table.
+* ``compare BENCH [BENCH...]`` — baseline vs Branch Runahead table
+  (``--jobs`` runs cells through the parallel experiment runner).
+* ``bench`` — time the experiment matrix and emit a ``BENCH_run.json``
+  perf report; fails if the fast path drifts from the reference path.
 * ``stats BENCH`` — dump the full unified stat registry as JSON.
 * ``trace BENCH`` — capture a pipeline event trace (Chrome/JSONL).
 * ``chains BENCH`` — show the dependence chains extracted for a benchmark.
@@ -21,26 +24,16 @@ import sys
 from typing import List, Optional
 
 from repro.core import config as br_config
-from repro.predictors.mtage import mtage_sc
-from repro.predictors.tage_scl import tage_scl_64kb, tage_scl_80kb
+from repro.sim import bench, experiments
 from repro.sim.results import ipc_improvement, mpki_improvement
 from repro.sim.sampling import select_simpoints
 from repro.sim.simulator import simulate
 from repro.telemetry import Tracer
 from repro.workloads import suite
 
-CONFIGS = {
-    "none": None,
-    "core-only": br_config.core_only,
-    "mini": br_config.mini,
-    "big": br_config.big,
-}
+CONFIGS = {"none": None, **experiments.CONFIG_FACTORIES}
 
-PREDICTORS = {
-    "tage64": tage_scl_64kb,
-    "tage80": tage_scl_80kb,
-    "mtage": mtage_sc,
-}
+PREDICTORS = experiments.PREDICTOR_FACTORIES
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -76,8 +69,29 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="baseline predictor for both sides")
     compare.add_argument("--instructions", type=int, default=12_000)
     compare.add_argument("--warmup", type=int, default=6_000)
+    compare.add_argument("--jobs", type=int, default=None,
+                         help="parallel worker processes "
+                         "(default: REPRO_JOBS, serial when unset)")
     compare.add_argument("--json", action="store_true",
                          help="emit one JSON object per benchmark")
+
+    bench_cmd = sub.add_parser(
+        "bench", help="time the experiment matrix; write BENCH_run.json")
+    bench_cmd.add_argument("--quick", action="store_true",
+                           help="small CI smoke matrix")
+    bench_cmd.add_argument("--benchmarks", nargs="*", default=None,
+                           metavar="BENCH",
+                           help="benchmarks to time (default: full suite)")
+    bench_cmd.add_argument("--variants", nargs="*", default=None,
+                           choices=sorted(experiments.VARIANTS),
+                           help="variants to time")
+    bench_cmd.add_argument("--instructions", type=int, default=None)
+    bench_cmd.add_argument("--warmup", type=int, default=None)
+    bench_cmd.add_argument("--jobs", type=int, default=None,
+                           help="parallel worker processes "
+                           "(default: REPRO_JOBS, serial when unset)")
+    bench_cmd.add_argument("--out", default="BENCH_run.json",
+                           help="report path (default: BENCH_run.json)")
 
     stats = sub.add_parser(
         "stats", help="dump the unified stat registry as JSON")
@@ -152,37 +166,65 @@ def _cmd_run(args) -> int:
 
 def _cmd_compare(args) -> int:
     names = args.benchmarks or suite.BENCHMARK_NAMES
-    config_factory = CONFIGS[args.config]
-    predictor_factory = PREDICTORS[args.predictor]
+    base_token = experiments.spec_variant(args.predictor)
+    br_token = experiments.spec_variant(args.predictor, args.config)
+    # benchmark-major cells through the experiment runner: with --jobs the
+    # matrix fans out over worker processes, and either way the shared
+    # trace cache emulates each benchmark once for both sides
+    cells = [(name, token) for name in names
+             for token in (base_token, br_token)]
+    rows = experiments.run_cells(cells, instructions=args.instructions,
+                                 warmup=args.warmup, jobs=args.jobs,
+                                 chunksize=2)
     if not args.json:
         print(f"{'benchmark':14s} {'base MPKI':>10s} {'BR MPKI':>10s} "
               f"{'ΔMPKI':>8s} {'base IPC':>9s} {'BR IPC':>9s} {'ΔIPC':>8s}")
-    for name in names:
-        program = suite.load(name)
-        base = simulate(program, instructions=args.instructions,
-                        warmup=args.warmup,
-                        predictor_factory=predictor_factory)
-        variant = simulate(program, instructions=args.instructions,
-                           warmup=args.warmup,
-                           predictor_factory=predictor_factory,
-                           br_config=config_factory())
-        mpki_delta = mpki_improvement(base.mpki, variant.mpki)
-        ipc_delta = ipc_improvement(base.ipc, variant.ipc)
+    for base_row, br_row in zip(rows[::2], rows[1::2]):
+        name = base_row["benchmark"]
+        base = base_row["payload"]
+        variant = br_row["payload"]
+        mpki_delta = mpki_improvement(base["mpki"], variant["mpki"])
+        ipc_delta = ipc_improvement(base["ipc"], variant["ipc"])
         if args.json:
             print(json.dumps({
                 "benchmark": name,
                 "predictor": args.predictor,
                 "config": args.config,
-                "baseline": {"mpki": base.mpki, "ipc": base.ipc},
-                "branch_runahead": {"mpki": variant.mpki,
-                                    "ipc": variant.ipc},
+                "baseline": {"mpki": base["mpki"], "ipc": base["ipc"]},
+                "branch_runahead": {"mpki": variant["mpki"],
+                                    "ipc": variant["ipc"]},
                 "mpki_improvement_pct": mpki_delta,
                 "ipc_improvement_pct": ipc_delta,
             }, sort_keys=True))
         else:
-            print(f"{name:14s} {base.mpki:>10.2f} {variant.mpki:>10.2f} "
-                  f"{mpki_delta:>+7.1f}% {base.ipc:>9.3f} "
-                  f"{variant.ipc:>9.3f} {ipc_delta:>+7.1f}%")
+            print(f"{name:14s} {base['mpki']:>10.2f} "
+                  f"{variant['mpki']:>10.2f} "
+                  f"{mpki_delta:>+7.1f}% {base['ipc']:>9.3f} "
+                  f"{variant['ipc']:>9.3f} {ipc_delta:>+7.1f}%")
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    report = bench.run_bench(benchmarks=args.benchmarks,
+                             variants=args.variants,
+                             instructions=args.instructions,
+                             warmup=args.warmup,
+                             jobs=args.jobs,
+                             quick=args.quick)
+    try:
+        with open(args.out, "w") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    except OSError as error:
+        print(f"repro bench: error: cannot write {args.out}: {error}",
+              file=sys.stderr)
+        return 1
+    print(bench.format_report(report))
+    print(f"report written to {args.out}")
+    if not report["drift"]["ok"]:
+        print("repro bench: error: fast-path results drifted from the "
+              "reference path", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -246,6 +288,7 @@ COMMANDS = {
     "list": _cmd_list,
     "run": _cmd_run,
     "compare": _cmd_compare,
+    "bench": _cmd_bench,
     "stats": _cmd_stats,
     "trace": _cmd_trace,
     "chains": _cmd_chains,

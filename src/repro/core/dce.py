@@ -343,14 +343,19 @@ class DependenceChainEngine:
                 # each uop behind its predecessor's completion (no MLP)
                 data_ready = previous_done
 
-            if op.is_load:
+            # compiled handler when the uop lives in a built program;
+            # reference interpreter for synthetic chain uops
+            run = op.execute
+            if run is not None:
+                record = run(regs, self.memory)
+            else:
                 record = execute_uop(op, regs, self.memory)
+            if op.is_load:
                 port_cycle = self.ports.acquire_free(data_ready)
                 done = self.hierarchy.access_data(record.addr, port_cycle,
                                                   from_dce=True)
                 self.stats.loads_executed += 1
             else:
-                record = execute_uop(op, regs, self.memory)
                 issue = self.alus.acquire(data_ready)
                 done = issue + op.latency
             self.stats.uops_executed += 1

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from typing import Iterator, List, Optional
 
+from repro.emulator.dispatch import ensure_compiled
 from repro.emulator.memory import MASK64, Memory, wrap64
 from repro.emulator.trace import DynamicUop
 from repro.isa import uop as U
@@ -158,9 +159,16 @@ def execute_uop(op: Uop, regs: List[int], memory) -> DynamicUop:
 
 
 class Machine:
-    """Committed-path functional executor for a program."""
+    """Committed-path functional executor for a program.
+
+    Execution goes through the per-uop closures bound by
+    :func:`repro.emulator.dispatch.ensure_compiled` (see that module); the
+    hot loops in :meth:`run`/:meth:`stream` additionally hoist every
+    attribute they touch into locals.
+    """
 
     def __init__(self, program: Program):
+        ensure_compiled(program)
         self.program = program
         self.memory = Memory(program.initial_memory)
         self.regs: List[int] = [0] * NUM_ARCH_REGS
@@ -176,26 +184,69 @@ class Machine:
         if op.opcode == U.HALT:
             self.halted = True
             return None
-        record = execute_uop(op, self.regs, self.memory)
+        record = op.execute(self.regs, self.memory)
         record.seq = self.seq
         self.seq += 1
         self.pc = record.next_pc
         return record
 
+    def fast_forward(self, count: int) -> int:
+        """Functionally execute ``count`` uops without producing records.
+
+        Used for SimPoint-style region starts; returns the number of uops
+        actually executed (fewer only if the program halts first).
+        """
+        if self.halted or count <= 0:
+            return 0
+        uops = self.program.uops
+        regs = self.regs
+        memory = self.memory
+        pc = self.pc
+        halt = U.HALT
+        executed = 0
+        try:
+            for _ in range(count):
+                op = uops[pc]
+                if op.opcode == halt:
+                    self.halted = True
+                    break
+                pc = op.execute(regs, memory).next_pc
+                executed += 1
+        finally:
+            self.pc = pc
+            self.seq += executed
+        return executed
+
     def run(self, max_instructions: int) -> List[DynamicUop]:
         """Run up to ``max_instructions`` uops; return the committed records."""
-        records = []
-        for _ in range(max_instructions):
-            record = self.step()
-            if record is None:
-                break
-            records.append(record)
-        return records
+        return list(self.stream(max_instructions))
 
     def stream(self, max_instructions: int) -> Iterator[DynamicUop]:
-        """Lazily yield up to ``max_instructions`` committed records."""
+        """Lazily yield up to ``max_instructions`` committed records.
+
+        Machine state (``pc``/``seq``) stays consistent with the records the
+        consumer has pulled, even if the generator is abandoned early.
+        """
+        if self.halted:
+            return
+        uops = self.program.uops
+        regs = self.regs
+        memory = self.memory
+        pc = self.pc
+        seq = self.seq
+        halt = U.HALT
         for _ in range(max_instructions):
-            record = self.step()
-            if record is None:
-                return
+            op = uops[pc]
+            if op.opcode == halt:
+                self.halted = True
+                break
+            record = op.execute(regs, memory)
+            record.seq = seq
+            seq += 1
+            pc = record.next_pc
+            # state is written back *before* the yield so an abandoned
+            # generator leaves the machine consistent with the records its
+            # consumer actually pulled
+            self.pc = pc
+            self.seq = seq
             yield record

@@ -61,7 +61,11 @@ def wrong_path_walk(program: Program, regs: List[int], memory: Memory,
         op = uops[pc]
         if op.opcode == U.HALT:
             break
-        record = execute_uop(op, shadow_regs, shadow_memory)
+        run = op.execute
+        if run is not None:
+            record = run(shadow_regs, shadow_memory)
+        else:
+            record = execute_uop(op, shadow_regs, shadow_memory)
         observed.append(ShadowUop(
             pc=pc,
             dst_regs=op.dst_regs,

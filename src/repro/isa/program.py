@@ -33,6 +33,9 @@ class Program:
         self.name = name
         for pc, op in enumerate(uops):
             op.pc = pc
+            # a compiled handler binds pc/target; placing the uop in a (new)
+            # program invalidates it until the emulator recompiles
+            op.execute = None
 
     def __len__(self) -> int:
         return len(self.uops)

@@ -96,6 +96,33 @@ _REG_REG_ALU = frozenset({ADD, SUB, MUL, AND, OR, XOR, SHL, SHR, SAR, DIV, MOD})
 _REG_IMM_ALU = frozenset({ADDI, MULI, ANDI, ORI, XORI, SHLI, SHRI, SARI})
 _UNARY = frozenset({MOV, NOT, SEXT32})
 
+# --- Pipeline kind tags ---------------------------------------------------
+#
+# The core timing model dispatches each dynamic uop to a specialized
+# sub-handler; the tag is computed once per static uop so the per-uop hot
+# path pays one tuple index instead of a chain of ``is_*`` tests.
+
+KIND_ALU = 0          # everything that is just "issue + latency"
+KIND_LOAD = 1
+KIND_STORE = 2
+KIND_COND_BRANCH = 3  # BR
+KIND_JUMP = 4         # JMP (always taken, never mispredicted)
+KIND_HALT = 5
+
+
+def _compute_kind(opcode: int) -> int:
+    if opcode == LD:
+        return KIND_LOAD
+    if opcode == ST:
+        return KIND_STORE
+    if opcode == BR:
+        return KIND_COND_BRANCH
+    if opcode == JMP:
+        return KIND_JUMP
+    if opcode == HALT:
+        return KIND_HALT
+    return KIND_ALU
+
 
 class Uop:
     """A static micro-operation.
@@ -111,7 +138,7 @@ class Uop:
         "cond", "target",
         "dst_regs", "src_regs",
         "is_cond_branch", "is_branch", "is_load", "is_store", "is_mem",
-        "latency",
+        "latency", "kind", "execute",
     )
 
     def __init__(
@@ -145,6 +172,14 @@ class Uop:
         self.is_store = opcode == ST
         self.is_mem = opcode in (LD, ST)
         self.latency = OPCODE_LATENCY[opcode]
+        self.kind = _compute_kind(opcode)
+        #: Compiled execution closure ``(regs, memory) -> DynamicUop``.
+        #: Bound by :func:`repro.emulator.dispatch.ensure_compiled` once the
+        #: uop's final ``pc``/``target`` are known (at Machine construction);
+        #: ``None`` until then.  Semantically identical to
+        #: :func:`repro.emulator.machine.execute_uop` by construction (and by
+        #: the differential test suite).
+        self.execute = None
 
         self.dst_regs = self._compute_dst_regs()
         self.src_regs = self._compute_src_regs()

@@ -64,14 +64,23 @@ class Cache:
 
     def access(self, line: int, is_write: bool) -> bool:
         """Access a line; returns True on hit.  Updates LRU/dirty state."""
-        entry_list = self._sets[self._set_index(line)]
+        entry_list = self._sets[line & self._set_mask]
+        # MRU fast path: the LRU order is already correct, skip the
+        # remove/insert churn the common repeated-line access would pay
+        if entry_list and entry_list[0] == line:
+            self.stats.hits += 1
+            if is_write:
+                self._dirty[line] = True
+            if self._prefetched and self._prefetched.pop(line, False):
+                self.stats.prefetch_hits += 1
+            return True
         if line in entry_list:
             self.stats.hits += 1
             entry_list.remove(line)
             entry_list.insert(0, line)
             if is_write:
                 self._dirty[line] = True
-            if self._prefetched.pop(line, False):
+            if self._prefetched and self._prefetched.pop(line, False):
                 self.stats.prefetch_hits += 1
             return True
         self.stats.misses += 1

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.memsys.cache import Cache, word_to_line
+from repro.memsys.cache import Cache
 from repro.memsys.dram import Dram, DramConfig
 from repro.memsys.mshr import MshrFile
 from repro.memsys.prefetcher import StreamPrefetcher
@@ -71,9 +71,15 @@ class MemoryHierarchy:
         self.prefetcher = StreamPrefetcher(cfg.prefetch_streams,
                                            cfg.prefetch_distance)
         self.dram = Dram(cfg.dram)
+        # word->line mapping hoisted out of access_data (8-byte words)
+        self._words_per_line = cfg.line_bytes // 8
         # split demand counters for the energy model / Figure 3
         self.core_accesses = 0
         self.dce_accesses = 0
+        # fetch fast path: the last-accessed L1I line is resident by
+        # construction (a hit keeps it, a miss fills it), so a same-line
+        # fetch is always a hit with the line already at MRU
+        self._last_insn_line = -1
 
     # -- data side -----------------------------------------------------------
 
@@ -81,7 +87,7 @@ class MemoryHierarchy:
                     is_write: bool = False, from_dce: bool = False) -> int:
         """Perform a demand data access; return its completion cycle."""
         cfg = self.config
-        line, _ = word_to_line(word_address, cfg.line_bytes)
+        line = word_address // self._words_per_line
         if from_dce:
             self.dce_accesses += 1
         else:
@@ -90,10 +96,16 @@ class MemoryHierarchy:
         mshrs = self.dce_mshrs if from_dce else self.mshrs
         if self.l1d.access(line, is_write):
             # the tag may be present while the fill is still in flight
-            pending = self.mshrs.lookup(line, cycle)
-            if pending < 0:
-                pending = self.dce_mshrs.lookup(line, cycle)
-            if pending >= 0:
+            # (MshrFile.lookup inlined — two calls per L1D hit otherwise)
+            core_mshrs = self.mshrs
+            pending = core_mshrs._outstanding.get(line, -1)
+            if pending > cycle:
+                core_mshrs.merges += 1
+                return pending
+            dce_mshrs = self.dce_mshrs
+            pending = dce_mshrs._outstanding.get(line, -1)
+            if pending > cycle:
+                dce_mshrs.merges += 1
                 return pending
             return cycle + cfg.l1_latency
 
@@ -133,6 +145,11 @@ class MemoryHierarchy:
         """Instruction fetch for the line containing ``pc`` (uop index)."""
         cfg = self.config
         line = pc >> 3  # 8 uops per "line"
+        if line == self._last_insn_line:
+            # LRU state is already exact (line at MRU); only count the hit
+            self.l1i.stats.hits += 1
+            return cycle + cfg.l1_latency
+        self._last_insn_line = line
         if self.l1i.access(line, is_write=False):
             return cycle + cfg.l1_latency
         if self._tracing:

@@ -92,12 +92,23 @@ class StatisticalCorrector:
         self._push_history(taken)
 
     def _push_history(self, taken: bool) -> None:
+        # HistoryBuffer/FoldedHistory maintenance inlined (as in
+        # TagePredictor._push_history): one attribute walk per fold instead
+        # of a dozen small-method calls per branch.
         new_bit = 1 if taken else 0
-        old_bits = [self._history.bit(length - 1)
-                    for length in self.history_lengths]
-        self._history.push(taken)
-        for fold, old_bit in zip(self._folds, old_bits):
-            fold.update(new_bit, old_bit)
+        history = self._history
+        buffer = history._buffer
+        size = history._size
+        head = history._head + 1
+        if head == size:
+            head = 0
+        history._head = head
+        buffer[head] = new_bit
+        for length, fold in zip(self.history_lengths, self._folds):
+            old_bit = buffer[(head - length) % size]
+            comp = ((fold.comp << 1) | new_bit) ^ (old_bit << fold._out_shift)
+            comp ^= comp >> fold.compressed_length
+            fold.comp = comp & fold._mask
 
     def storage_bits(self) -> int:
         counters = sum(len(table) for table in self.tables) + len(self.bias)

@@ -69,6 +69,7 @@ class _TaggedTable:
     """One tagged component table with its folded-history registers."""
 
     __slots__ = ("size_log2", "mask", "tag_mask", "history_length",
+                 "pc_shift",
                  "ctr", "tag", "useful", "f_index", "f_tag0", "f_tag1")
 
     def __init__(self, size_log2: int, tag_bits: int, history_length: int):
@@ -77,6 +78,7 @@ class _TaggedTable:
         self.mask = size - 1
         self.tag_mask = (1 << tag_bits) - 1
         self.history_length = history_length
+        self.pc_shift = size_log2 // 2 + 1  # precomputed for index()
         self.ctr = [0] * size       # signed, counter_bits wide
         self.tag = [0] * size
         self.useful = [0] * size
@@ -85,8 +87,7 @@ class _TaggedTable:
         self.f_tag1 = FoldedHistory(history_length, max(tag_bits - 1, 1))
 
     def index(self, pc: int) -> int:
-        return (pc ^ (pc >> (self.size_log2 // 2 + 1))
-                ^ self.f_index.comp) & self.mask
+        return (pc ^ (pc >> self.pc_shift) ^ self.f_index.comp) & self.mask
 
     def compute_tag(self, pc: int) -> int:
         return (pc ^ self.f_tag0.comp ^ (self.f_tag1.comp << 1)) \
@@ -135,12 +136,19 @@ class TagePredictor(BranchPredictor):
     def predict(self, pc: int) -> bool:
         provider = -1
         alt = -1
-        for i in range(len(self.tables) - 1, -1, -1):
-            table = self.tables[i]
-            index = table.index(pc)
-            tag = table.compute_tag(pc)
-            self._indices[i] = index
-            self._tags[i] = tag
+        indices = self._indices
+        tags = self._tags
+        tables = self.tables
+        for i in range(len(tables) - 1, -1, -1):
+            table = tables[i]
+            # index()/compute_tag() inlined: this loop runs for every table
+            # on every branch and the call overhead dominates the hashing
+            index = (pc ^ (pc >> table.pc_shift)
+                     ^ table.f_index.comp) & table.mask
+            tag = (pc ^ table.f_tag0.comp
+                   ^ (table.f_tag1.comp << 1)) & table.tag_mask
+            indices[i] = index
+            tags[i] = tag
             if table.tag[index] == tag:
                 if provider < 0:
                     provider = i
@@ -295,16 +303,36 @@ class TagePredictor(BranchPredictor):
                     useful[i] = value & clear_mask
 
     def _push_history(self, taken: bool) -> None:
+        # The folded-history maintenance (FoldedHistory.update and
+        # HistoryBuffer.push/bit) is inlined here: with 12 tables x 3 folds
+        # this method makes ~49 small-method calls per branch otherwise,
+        # which profiling shows dominating the predictor's host cost.
         new_bit = 1 if taken else 0
-        # capture bits falling out of each window *before* pushing
-        old_bits = []
+        history = self._history
+        buffer = history._buffer
+        size = history._size
+        head = history._head + 1
+        if head == size:
+            head = 0
+        history._head = head
+        buffer[head] = new_bit
+        # after the push, the bit falling out of a window of length L is
+        # ``buffer[(head - L) % size]`` — identical to reading bit(L - 1)
+        # before the push
         for table in self.tables:
-            old_bits.append(self._history.bit(table.history_length - 1))
-        self._history.push(taken)
-        for table, old_bit in zip(self.tables, old_bits):
-            table.f_index.update(new_bit, old_bit)
-            table.f_tag0.update(new_bit, old_bit)
-            table.f_tag1.update(new_bit, old_bit)
+            old_bit = buffer[(head - table.history_length) % size]
+            fold = table.f_index
+            comp = ((fold.comp << 1) | new_bit) ^ (old_bit << fold._out_shift)
+            comp ^= comp >> fold.compressed_length
+            fold.comp = comp & fold._mask
+            fold = table.f_tag0
+            comp = ((fold.comp << 1) | new_bit) ^ (old_bit << fold._out_shift)
+            comp ^= comp >> fold.compressed_length
+            fold.comp = comp & fold._mask
+            fold = table.f_tag1
+            comp = ((fold.comp << 1) | new_bit) ^ (old_bit << fold._out_shift)
+            comp ^= comp >> fold.compressed_length
+            fold.comp = comp & fold._mask
 
     def storage_bits(self) -> int:
         return self.config.storage_bits()

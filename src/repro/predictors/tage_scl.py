@@ -37,6 +37,8 @@ class TageSCL(BranchPredictor):
             self.name = name
         self._ctx_pc = -1
         self._tage_pred = False
+        self._loop_valid = False
+        self._loop_pred = False
         self._sc_total = 0
         self._final = False
 
@@ -49,6 +51,8 @@ class TageSCL(BranchPredictor):
             pred = total >= 0
         self._ctx_pc = pc
         self._tage_pred = tage_pred
+        self._loop_valid = loop_valid
+        self._loop_pred = loop_pred
         self._sc_total = total
         self._final = pred
         return pred
@@ -56,8 +60,9 @@ class TageSCL(BranchPredictor):
     def update(self, pc: int, taken: bool) -> None:
         if pc != self._ctx_pc:
             self.predict(pc)
-        loop_valid, loop_pred = self.loop.predict(pc)
-        base_pred = loop_pred if loop_valid else self._tage_pred
+        # loop.predict is pure, so the direction captured at predict() time
+        # is still valid here — no need to recompute it
+        base_pred = self._loop_pred if self._loop_valid else self._tage_pred
         self.corrector.update(pc, taken, base_pred, self._sc_total)
         self.loop.update(pc, taken)
         self.tage.update(pc, taken)

@@ -1,0 +1,190 @@
+"""Perf-tracking bench harness (``repro bench``).
+
+Times the experiment matrix twice over the same cells:
+
+1. **baseline** — serial, every cache bypassed: each cell emulates its
+   region from scratch, exactly what the harness cost before the fast-path
+   work;
+2. **optimized** — the production path: shared committed-trace cache plus
+   the ``REPRO_JOBS`` parallel runner.
+
+Because trace-cache replays are bit-identical to live emulation and the
+parallel merge is deterministic, both passes must produce byte-equal result
+payloads (host wall-clock timings excluded) — the harness hashes every cell
+and **fails on drift**, making it a correctness gate as well as a perf
+report.  The report is written as ``BENCH_run.json`` (schema
+``repro-bench-v1``) so CI can archive a history of simulator throughput.
+
+Numbers reported per pass: end-to-end wall seconds, committed uops/sec
+(region length x cells / wall), aggregated per-phase host seconds from the
+simulator's own timers, and trace-cache hit counts.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.sim import experiments
+from repro.sim.simulator import simulate
+from repro.workloads import suite
+
+SCHEMA = "repro-bench-v1"
+
+#: Default matrices.  ``quick`` is sized for a CI smoke run.
+DEFAULT_VARIANTS = ["tage64", "mtage", "core_only", "mini", "big"]
+QUICK_VARIANTS = ["tage64", "mini", "big"]
+QUICK_BENCHMARKS = ["sjeng_06", "mcf_17"]
+QUICK_INSTRUCTIONS = 3_000
+QUICK_WARMUP = 1_500
+
+
+def strip_host(payload: dict) -> dict:
+    """Drop wall-clock-dependent fields; everything left is deterministic."""
+    clean = json.loads(json.dumps(payload))
+    stats = clean.get("stats")
+    if isinstance(stats, dict):
+        stats.pop("host", None)
+    return clean
+
+
+def payload_digest(payload: dict) -> str:
+    """sha256 over the canonical JSON of the deterministic payload subset."""
+    canonical = json.dumps(strip_host(payload), sort_keys=True,
+                           separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+def _phase_seconds(payloads: Iterable[dict]) -> Dict[str, float]:
+    """Aggregate ``stats.host.phase.*_seconds`` across cell payloads."""
+    totals: Dict[str, float] = {}
+    for payload in payloads:
+        phases = payload.get("stats", {}).get("host", {}).get("phase", {})
+        for name, seconds in phases.items():
+            if name.endswith("_seconds"):
+                key = name[:-len("_seconds")]
+                totals[key] = totals.get(key, 0.0) + float(seconds)
+    return {name: round(seconds, 6)
+            for name, seconds in sorted(totals.items())}
+
+
+def _pass_report(wall: float, payloads: List[dict], uops: int) -> dict:
+    return {
+        "wall_seconds": round(wall, 6),
+        "uops_per_second": round(uops / wall) if wall > 0 else None,
+        "host_phase_seconds": _phase_seconds(payloads),
+    }
+
+
+def run_bench(benchmarks: Optional[List[str]] = None,
+              variants: Optional[List[str]] = None,
+              instructions: Optional[int] = None,
+              warmup: Optional[int] = None,
+              jobs: Optional[int] = None,
+              quick: bool = False) -> dict:
+    """Run the two-pass bench and return the ``repro-bench-v1`` report.
+
+    ``quick`` selects the CI smoke matrix; explicit arguments override it.
+    The returned report's ``drift.ok`` is the pass/fail bit.
+    """
+    if quick:
+        benchmarks = benchmarks or QUICK_BENCHMARKS
+        variants = variants or QUICK_VARIANTS
+        instructions = instructions or QUICK_INSTRUCTIONS
+        warmup = warmup if warmup is not None else QUICK_WARMUP
+    benchmarks = list(benchmarks or suite.BENCHMARK_NAMES)
+    variants = list(variants or DEFAULT_VARIANTS)
+    instructions = instructions or experiments.REGION_INSTRUCTIONS
+    warmup = warmup if warmup is not None else experiments.REGION_WARMUP
+    jobs = jobs if jobs is not None else experiments.default_jobs()
+
+    cells: List[Tuple[str, str]] = [(benchmark, variant)
+                                    for benchmark in benchmarks
+                                    for variant in variants]
+    region = instructions + warmup
+    total_uops = region * len(cells)
+
+    # -- pass 1: baseline (serial, no caches) ------------------------------
+    # simulate() is called directly so neither the result cache nor the
+    # trace cache can shave work off the measurement.
+    baseline_payloads: List[dict] = []
+    start = time.perf_counter()
+    for benchmark, variant in cells:
+        program = suite.load(benchmark)
+        result = simulate(program, instructions=instructions, warmup=warmup,
+                          **experiments.variant_kwargs(variant))
+        baseline_payloads.append(result.to_dict())
+    baseline_wall = time.perf_counter() - start
+
+    # -- pass 2: optimized (trace cache + parallel runner) -----------------
+    experiments.clear_caches()
+    start = time.perf_counter()
+    rows = experiments.run_cells(cells, instructions=instructions,
+                                 warmup=warmup, jobs=jobs, cache=False,
+                                 chunksize=max(1, len(variants)))
+    optimized_wall = time.perf_counter() - start
+    optimized_payloads = [row["payload"] for row in rows]
+    trace_hits = sum(1 for row in rows if row["trace_cache_hit"])
+
+    # -- drift gate --------------------------------------------------------
+    digests: Dict[str, str] = {}
+    mismatched: List[str] = []
+    for (benchmark, variant), base, opt in zip(cells, baseline_payloads,
+                                               optimized_payloads):
+        name = f"{benchmark}/{variant}"
+        base_digest = payload_digest(base)
+        digests[name] = base_digest
+        if payload_digest(opt) != base_digest:
+            mismatched.append(name)
+
+    speedup = baseline_wall / optimized_wall if optimized_wall > 0 else None
+    return {
+        "schema": SCHEMA,
+        "quick": quick,
+        "benchmarks": benchmarks,
+        "variants": variants,
+        "instructions": instructions,
+        "warmup": warmup,
+        "jobs": jobs,
+        "cells": len(cells),
+        "uops_per_cell": region,
+        "baseline": _pass_report(baseline_wall, baseline_payloads,
+                                 total_uops),
+        "optimized": {
+            **_pass_report(optimized_wall, optimized_payloads, total_uops),
+            "trace_cache_hits": trace_hits,
+            "trace_cache_misses": len(cells) - trace_hits,
+        },
+        "speedup": round(speedup, 3) if speedup else None,
+        "drift": {"ok": not mismatched, "mismatched_cells": mismatched},
+        "digests": digests,
+    }
+
+
+def format_report(report: dict) -> str:
+    """Human-readable summary of a bench report."""
+    baseline = report["baseline"]
+    optimized = report["optimized"]
+    lines = [
+        f"bench: {report['cells']} cells "
+        f"({len(report['benchmarks'])} benchmarks x "
+        f"{len(report['variants'])} variants), "
+        f"{report['uops_per_cell']} uops/cell, jobs={report['jobs']}",
+        f"  baseline : {baseline['wall_seconds']:.3f}s "
+        f"({baseline['uops_per_second']:,} uops/s)",
+        f"  optimized: {optimized['wall_seconds']:.3f}s "
+        f"({optimized['uops_per_second']:,} uops/s), "
+        f"trace-cache hits {optimized['trace_cache_hits']}"
+        f"/{report['cells']}",
+        f"  speedup  : {report['speedup']:.2f}x",
+    ]
+    drift = report["drift"]
+    if drift["ok"]:
+        lines.append("  drift    : none (all cell digests match)")
+    else:
+        lines.append(f"  drift    : MISMATCH in "
+                     f"{len(drift['mismatched_cells'])} cell(s): "
+                     + ", ".join(drift["mismatched_cells"]))
+    return "\n".join(lines)

@@ -6,23 +6,40 @@ runs.  Region length is controlled by ``REPRO_INSTRUCTIONS`` /
 ``REPRO_WARMUP`` environment variables (defaults keep the full harness in
 the minutes range; the paper used 200M-instruction SimPoints, far beyond a
 pure-Python budget — see DESIGN.md §3).
+
+Fast-path machinery (this module is the entry point the bench harness and
+CLI drive):
+
+* a process-wide :class:`~repro.sim.trace_cache.TraceCache` so the matrix
+  emulates each benchmark region once and replays it for every variant;
+* a bounded LRU result cache (``REPRO_CACHE_SIZE`` entries);
+* :func:`run_cells` / :func:`run_matrix` — a ``multiprocessing``-backed
+  parallel runner (``REPRO_JOBS`` workers, default serial) that farms out
+  ``(benchmark, variant)`` cells and merges their pickled
+  ``SimulationResult.to_dict()`` payloads deterministically.
 """
 
 from __future__ import annotations
 
 import os
-from typing import Callable, Dict, Optional, Tuple
+from collections import OrderedDict
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core import config as br_config
 from repro.predictors.mtage import mtage_sc
 from repro.predictors.tage_scl import tage_scl_64kb, tage_scl_80kb
 from repro.sim.results import SimulationResult
 from repro.sim.simulator import simulate
+from repro.sim.trace_cache import TraceCache
 from repro.workloads import suite
 
 #: Region length knobs (instructions measured / warmed up per benchmark).
 REGION_INSTRUCTIONS = int(os.environ.get("REPRO_INSTRUCTIONS", "12000"))
 REGION_WARMUP = int(os.environ.get("REPRO_WARMUP", "6000"))
+
+#: Bound on the per-process result cache (distinct (benchmark, variant,
+#: region, overrides) keys kept live).
+RESULT_CACHE_SIZE = int(os.environ.get("REPRO_CACHE_SIZE", "256"))
 
 
 def _baseline_kwargs():
@@ -56,27 +73,103 @@ VARIANTS: Dict[str, Callable[[], dict]] = {
         track_merge_oracle=True),
 }
 
-_cache: Dict[Tuple, SimulationResult] = {}
+#: Factories shared with the CLI, and the building blocks of ``spec:``
+#: variants (arbitrary predictor × BR-config combinations that the named
+#: VARIANTS matrix does not enumerate).
+PREDICTOR_FACTORIES = {
+    "tage64": tage_scl_64kb,
+    "tage80": tage_scl_80kb,
+    "mtage": mtage_sc,
+}
+
+CONFIG_FACTORIES = {
+    "core-only": br_config.core_only,
+    "mini": br_config.mini,
+    "big": br_config.big,
+}
+
+
+def spec_variant(predictor: str, config: Optional[str] = None) -> str:
+    """Build a ``spec:`` variant token for any predictor × config pair.
+
+    Tokens are plain strings, so they cache and pickle exactly like named
+    variants: ``spec_variant("tage80", "mini") == "spec:tage80+mini"``.
+    """
+    if predictor not in PREDICTOR_FACTORIES:
+        raise KeyError(f"unknown predictor {predictor!r}")
+    if config is not None and config not in CONFIG_FACTORIES:
+        raise KeyError(f"unknown BR config {config!r}")
+    return f"spec:{predictor}+{config or 'none'}"
+
+
+def variant_kwargs(variant: str) -> dict:
+    """Materialize ``simulate()`` kwargs for a named or ``spec:`` variant."""
+    if variant.startswith("spec:"):
+        predictor, _, config = variant[5:].partition("+")
+        kwargs = dict(predictor=PREDICTOR_FACTORIES[predictor]())
+        if config and config != "none":
+            kwargs["br_config"] = CONFIG_FACTORIES[config]()
+        return kwargs
+    return VARIANTS[variant]()
+
+
+# -- per-process caches -----------------------------------------------------
+
+_cache: "OrderedDict[Tuple, SimulationResult]" = OrderedDict()
+
+#: Shared committed-trace cache: one functional emulation per benchmark
+#: region, replayed by every variant (and inherited for free by forked
+#: worker processes).
+_trace_cache = TraceCache()
+
+
+def _cache_get(key: Tuple) -> Optional[SimulationResult]:
+    result = _cache.get(key)
+    if result is not None:
+        _cache.move_to_end(key)
+    return result
+
+
+def _cache_put(key: Tuple, result: SimulationResult) -> None:
+    if key in _cache:
+        _cache.move_to_end(key)
+    _cache[key] = result
+    while len(_cache) > RESULT_CACHE_SIZE:
+        _cache.popitem(last=False)
+
+
+def clear_caches() -> None:
+    """Drop both per-process caches (bench harness isolation)."""
+    _cache.clear()
+    _trace_cache.clear()
 
 
 def run(benchmark: str, variant: str,
         instructions: Optional[int] = None,
         warmup: Optional[int] = None,
-        br_overrides: Optional[dict] = None) -> SimulationResult:
+        br_overrides: Optional[dict] = None,
+        cache: bool = True,
+        trace_cache: Optional[TraceCache] = None) -> SimulationResult:
     """Run (or fetch from cache) one benchmark under one variant.
 
     ``br_overrides`` tweaks the variant's BranchRunaheadConfig (used by the
     Figure 13 sweeps); overridden runs are cached under their own key.
+    ``cache=False`` bypasses the result cache entirely — no lookup, no
+    store — so the bench harness's timed runs do real work and don't keep
+    whole result graphs alive.  ``trace_cache`` defaults to the
+    process-wide shared instance.
     """
     instructions = instructions or REGION_INSTRUCTIONS
     warmup = warmup if warmup is not None else REGION_WARMUP
     override_key = tuple(sorted(br_overrides.items())) if br_overrides \
         else ()
     key = (benchmark, variant, instructions, warmup, override_key)
-    if key in _cache:
-        return _cache[key]
+    if cache:
+        cached = _cache_get(key)
+        if cached is not None:
+            return cached
 
-    kwargs = VARIANTS[variant]()
+    kwargs = variant_kwargs(variant)
     if br_overrides:
         config = kwargs.get("br_config")
         if config is None:
@@ -88,8 +181,11 @@ def run(benchmark: str, variant: str,
             setattr(config, attr, value)
     program = suite.load(benchmark)
     result = simulate(program, instructions=instructions, warmup=warmup,
+                      trace_cache=(trace_cache if trace_cache is not None
+                                   else _trace_cache),
                       **kwargs)
-    _cache[key] = result
+    if cache:
+        _cache_put(key, result)
     return result
 
 
@@ -97,6 +193,101 @@ def run_all(variant: str, benchmarks=None, **kwargs):
     """Run a variant over the benchmark list; returns {name: result}."""
     names = benchmarks or suite.BENCHMARK_NAMES
     return {name: run(name, variant, **kwargs) for name in names}
+
+
+# -- parallel matrix runner -------------------------------------------------
+
+def default_jobs() -> int:
+    """Worker count: ``REPRO_JOBS`` env var, default 1 (serial)."""
+    return max(1, int(os.environ.get("REPRO_JOBS", "1")))
+
+
+def _run_cell(task: Tuple) -> dict:
+    """Worker entry: one ``(benchmark, variant)`` cell to a picklable dict.
+
+    Module-level (not a closure) so both fork and spawn start methods can
+    pickle it.  Each worker process owns forked copies of the module-level
+    caches; chunking cells benchmark-major means a worker replays its
+    benchmark's trace for every variant after the first.
+    """
+    benchmark, variant, instructions, warmup, use_result_cache = task
+    hits_before = _trace_cache.hits
+    result = run(benchmark, variant, instructions=instructions,
+                 warmup=warmup, cache=use_result_cache)
+    return {
+        "benchmark": benchmark,
+        "variant": variant,
+        "payload": result.to_dict(),
+        "trace_cache_hit": _trace_cache.hits > hits_before,
+    }
+
+
+def run_cells(cells: Sequence[Tuple[str, str]],
+              instructions: Optional[int] = None,
+              warmup: Optional[int] = None,
+              jobs: Optional[int] = None,
+              cache: bool = True,
+              chunksize: Optional[int] = None) -> List[dict]:
+    """Run many ``(benchmark, variant)`` cells, optionally in parallel.
+
+    Returns one dict per cell — ``{"benchmark", "variant", "payload",
+    "trace_cache_hit"}`` with ``payload = SimulationResult.to_dict()`` — in
+    the *input* order regardless of worker scheduling, so output is
+    deterministic for any job count.  ``jobs`` defaults to ``REPRO_JOBS``
+    (serial when unset); pass cells benchmark-major and ``chunksize`` equal
+    to the variant count so each worker keeps per-benchmark trace-cache
+    locality.
+    """
+    instructions = instructions or REGION_INSTRUCTIONS
+    warmup = warmup if warmup is not None else REGION_WARMUP
+    jobs = jobs if jobs is not None else default_jobs()
+    tasks = [(benchmark, variant, instructions, warmup, cache)
+             for benchmark, variant in cells]
+    if jobs <= 1 or len(tasks) <= 1:
+        return [_run_cell(task) for task in tasks]
+
+    import multiprocessing
+
+    try:
+        context = multiprocessing.get_context("fork")
+    except ValueError:  # platform without fork (e.g. Windows)
+        context = multiprocessing.get_context("spawn")
+    jobs = min(jobs, len(tasks))
+    if chunksize is None:
+        chunksize = max(1, (len(tasks) + jobs - 1) // jobs)
+    with context.Pool(processes=jobs) as pool:
+        # Pool.map preserves input order, so the merge is deterministic
+        return pool.map(_run_cell, tasks, chunksize=chunksize)
+
+
+def run_matrix(variants: Optional[Iterable[str]] = None,
+               benchmarks: Optional[Iterable[str]] = None,
+               instructions: Optional[int] = None,
+               warmup: Optional[int] = None,
+               jobs: Optional[int] = None,
+               cache: bool = True) -> Dict[str, Dict[str, dict]]:
+    """Run a full variant × benchmark matrix; returns nested payload dicts.
+
+    ``result[benchmark][variant]`` is the cell's
+    :meth:`~repro.sim.results.SimulationResult.to_dict` payload.  Cells are
+    laid out benchmark-major and chunked one benchmark per worker dispatch,
+    so a worker emulates each of its benchmarks once and replays the trace
+    for the remaining variants.
+    """
+    variant_list = list(variants) if variants is not None else list(VARIANTS)
+    benchmark_list = (list(benchmarks) if benchmarks is not None
+                      else list(suite.BENCHMARK_NAMES))
+    cells = [(benchmark, variant)
+             for benchmark in benchmark_list
+             for variant in variant_list]
+    rows = run_cells(cells, instructions=instructions, warmup=warmup,
+                     jobs=jobs, cache=cache,
+                     chunksize=max(1, len(variant_list)))
+    matrix: Dict[str, Dict[str, dict]] = {name: {}
+                                          for name in benchmark_list}
+    for row in rows:
+        matrix[row["benchmark"]][row["variant"]] = row["payload"]
+    return matrix
 
 
 def hard_branch_accuracy(result: SimulationResult, count: int = 32

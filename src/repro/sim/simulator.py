@@ -26,6 +26,7 @@ from repro.memsys.hierarchy import HierarchyConfig, MemoryHierarchy
 from repro.predictors.base import BranchPredictor
 from repro.predictors.tage_scl import tage_scl_64kb
 from repro.sim.results import SimulationResult
+from repro.sim.trace_cache import TraceCache
 from repro.telemetry import Telemetry, Tracer
 from repro.uarch.config import CoreConfig
 from repro.uarch.core import CoreModel
@@ -42,7 +43,8 @@ def simulate(program: Program,
              hierarchy_config: Optional[HierarchyConfig] = None,
              track_merge_oracle: bool = False,
              telemetry: Optional[Telemetry] = None,
-             tracer: Optional[Tracer] = None) -> SimulationResult:
+             tracer: Optional[Tracer] = None,
+             trace_cache: Optional[TraceCache] = None) -> SimulationResult:
     """Run one region of ``program`` and collect every statistic.
 
     ``warmup`` instructions run first with full training but are excluded
@@ -53,6 +55,11 @@ def simulate(program: Program,
     bundle) to capture pipeline events; with neither, tracing is fully
     disabled — each component checks the no-op sink once at construction
     and emits nothing on the hot path.
+
+    ``trace_cache`` memoizes the committed dynamic-uop stream: the first
+    run of a ``(program, start, length)`` region records it (fast-forward
+    included), subsequent runs replay it without re-emulating.  Replays are
+    bit-identical to live runs (see :mod:`repro.sim.trace_cache`).
     """
     if telemetry is None:
         telemetry = Telemetry(tracer=tracer)
@@ -63,8 +70,14 @@ def simulate(program: Program,
     if predictor is None:
         predictor = predictor_factory() if predictor_factory \
             else tage_scl_64kb()
+    total = instructions + warmup
+    machine = None
+    if trace_cache is not None:
+        machine = trace_cache.replay(program, start_instruction, total)
+    replaying = machine is not None
     with timers.phase("setup"):
-        machine = Machine(program)
+        if machine is None:
+            machine = Machine(program)
         hierarchy = MemoryHierarchy(hierarchy_config,
                                     tracer=telemetry.tracer)
         core_config = core_config or CoreConfig()
@@ -81,14 +94,17 @@ def simulate(program: Program,
                 tracer=telemetry.tracer)
             core.runahead = runahead
 
-    if start_instruction:
+    if start_instruction and not replaying:
         with timers.phase("fast_forward"):
-            for _ in range(start_instruction):
-                if machine.step() is None:
-                    break
+            machine.fast_forward(start_instruction)
 
-    total = instructions + warmup
-    stream = timers.wrap_iter("emulation", machine.stream(total))
+    stream_source = machine.stream(total)
+    if trace_cache is not None and not replaying:
+        # snapshot happens here, after the fast-forward: the recorded
+        # region replays from its entry state
+        stream_source = trace_cache.record(machine, start_instruction,
+                                           total, stream_source)
+    stream = timers.wrap_iter("emulation", stream_source)
     with timers.phase("timing"):
         core_stats = core.run(stream, warmup=warmup,
                               initial_regs=machine.regs if start_instruction

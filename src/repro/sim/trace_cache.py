@@ -1,0 +1,213 @@
+"""Shared committed-trace cache.
+
+The committed dynamic-uop stream of a region is a pure function of
+``(program, start_instruction, total_instructions)`` — the timing
+configuration, the predictor, and Branch Runahead never change what the
+program *does*, only how long it takes.  The experiment matrix therefore
+re-runs the exact same functional emulation once per variant; this module
+memoizes it so each region is emulated once and *replayed* for every other
+variant.
+
+Replay must be indistinguishable from live emulation to every consumer.
+The subtle part is memory: in a live run the machine's memory evolves
+lazily — the store of record ``i`` is applied at the moment record ``i`` is
+produced — and Branch Runahead reads that memory mid-stream (DCE chain
+loads, shadow wrong-path walks through an
+:class:`~repro.emulator.memory.OverlayMemory`).  A replay therefore snapshots
+the pre-region memory image at record time and re-applies each ST record to
+its own replica as it yields, so any consumer reading
+``machine.memory`` between two records sees bit-identical state in live and
+replayed runs.  ``tests/test_trace_cache.py`` pins this invariant by
+comparing full ``SimulationResult.to_dict()`` payloads.
+
+The cache is LRU-bounded (``REPRO_TRACE_CACHE`` entries, default 32) and
+keyed by program *identity*: entries hold a strong reference to their
+program, which both keeps ``id(program)`` valid and means a rebuilt Program
+object (whose uops were re-placed) can never alias a stale entry.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import OrderedDict
+from typing import Iterator, List, Optional, Tuple
+
+from repro.emulator.machine import Machine
+from repro.emulator.memory import Memory
+from repro.emulator.trace import DynamicUop
+from repro.isa import uop as U
+from repro.isa.program import Program
+from repro.isa.registers import CC
+
+#: Default LRU capacity (regions, not uops) when ``REPRO_TRACE_CACHE`` is
+#: unset.  A full benchmark suite sweep touches one region per benchmark.
+DEFAULT_CAPACITY = 32
+
+
+class TraceEntry:
+    """One recorded region: its records plus enough state to replay them."""
+
+    __slots__ = ("program", "start", "total", "records", "pre_memory",
+                 "start_regs", "start_pc", "start_seq",
+                 "final_pc", "final_seq", "halted")
+
+    def __init__(self, program: Program, start: int, total: int,
+                 records: List[DynamicUop], pre_memory: Memory,
+                 start_regs: List[int], start_pc: int, start_seq: int,
+                 final_pc: int, final_seq: int, halted: bool):
+        self.program = program
+        self.start = start
+        self.total = total
+        self.records = records
+        self.pre_memory = pre_memory
+        self.start_regs = start_regs
+        self.start_pc = start_pc
+        self.start_seq = start_seq
+        self.final_pc = final_pc
+        self.final_seq = final_seq
+        self.halted = halted
+
+
+class ReplayMachine:
+    """Drop-in :class:`~repro.emulator.machine.Machine` for a cached region.
+
+    Exposes the attributes the simulator and Branch Runahead consume —
+    ``program``, ``memory``, ``regs``, ``pc``, ``seq``, ``halted`` — and a
+    :meth:`stream` that yields the recorded records while applying each
+    record's architectural side effect (register writeback or store) to
+    this machine's private replica state, keeping ``memory``/``regs``/
+    ``pc``/``seq`` exactly in step with what a live machine would contain
+    at the same point of consumption.
+    """
+
+    def __init__(self, entry: TraceEntry):
+        self._entry = entry
+        self.program = entry.program
+        #: Private replica: replays are independent, so a half-consumed
+        #: replay can never leak state into the next one.
+        self.memory = entry.pre_memory.copy()
+        self.regs: List[int] = list(entry.start_regs)
+        self.pc = entry.start_pc
+        self.seq = entry.start_seq
+        self.halted = False
+
+    def stream(self, max_instructions: int) -> Iterator[DynamicUop]:
+        """Yield the recorded region (at most ``max_instructions`` records).
+
+        The entry was recorded for exactly this region length, so the limit
+        only matters defensively; records keep their original ``seq``.
+        """
+        entry = self._entry
+        records = entry.records
+        if max_instructions < len(records):
+            records = records[:max_instructions]
+        memory_write = self.memory.write
+        regs = self.regs
+        # applied *before* each yield, exactly when the live machine's
+        # execute closure would have applied it
+        for record in records:
+            op = record.uop
+            opcode = op.opcode
+            if opcode <= U.CMPI:
+                if opcode >= U.CMP:
+                    regs[CC] = record.dst_value
+                else:
+                    regs[op.dst] = record.dst_value
+            elif opcode == U.LD:
+                regs[op.dst] = record.dst_value
+            elif opcode == U.ST:
+                memory_write(record.addr, record.value)
+            self.pc = record.next_pc
+            self.seq = record.seq + 1
+            yield record
+        if len(records) == len(entry.records):
+            # fully replayed: mirror the live machine's terminal flags
+            self.pc = entry.final_pc
+            self.seq = entry.final_seq
+            self.halted = entry.halted
+
+    def fast_forward(self, count: int) -> int:
+        raise RuntimeError(
+            "ReplayMachine regions already include their fast-forward; "
+            "request the replay with the same start_instruction instead")
+
+
+class TraceCache:
+    """LRU cache of committed-region traces, shared across variants.
+
+    Thread-compatible but not thread-safe; in the parallel experiment
+    runner each worker process owns its own instance (a fork inherits the
+    parent's warm entries for free).
+    """
+
+    def __init__(self, capacity: Optional[int] = None):
+        if capacity is None:
+            capacity = int(os.environ.get("REPRO_TRACE_CACHE",
+                                          DEFAULT_CAPACITY))
+        if capacity < 1:
+            raise ValueError("trace cache capacity must be positive")
+        self.capacity = capacity
+        self._entries: "OrderedDict[Tuple[int, int, int], TraceEntry]" = \
+            OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def replay(self, program: Program, start: int,
+               total: int) -> Optional[ReplayMachine]:
+        """Return a replay machine for the region, or None on a miss."""
+        key = (id(program), start, total)
+        entry = self._entries.get(key)
+        if entry is None or entry.program is not program:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return ReplayMachine(entry)
+
+    def record(self, machine: Machine, start: int, total: int,
+               source: Iterator[DynamicUop]) -> Iterator[DynamicUop]:
+        """Wrap a live stream so the region is cached once it completes.
+
+        Must be called *after* any fast-forward, so the memory snapshot and
+        start registers capture the region entry state.  If the consumer
+        abandons the stream early nothing is stored.
+        """
+        program = machine.program
+        pre_memory = machine.memory.copy()
+        start_regs = list(machine.regs)
+        start_pc = machine.pc
+        start_seq = machine.seq
+
+        def recording() -> Iterator[DynamicUop]:
+            records: List[DynamicUop] = []
+            append = records.append
+            for record in source:
+                append(record)
+                yield record
+            self._store(TraceEntry(
+                program, start, total, records, pre_memory,
+                start_regs, start_pc, start_seq,
+                machine.pc, machine.seq, machine.halted))
+
+        return recording()
+
+    def _store(self, entry: TraceEntry) -> None:
+        key = (id(entry.program), entry.start, entry.total)
+        entries = self._entries
+        if key in entries:
+            entries.move_to_end(key)
+        entries[key] = entry
+        while len(entries) > self.capacity:
+            entries.popitem(last=False)
+            self.evictions += 1
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def stats(self) -> dict:
+        return {"entries": len(self._entries), "hits": self.hits,
+                "misses": self.misses, "evictions": self.evictions}

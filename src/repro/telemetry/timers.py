@@ -41,15 +41,22 @@ class PhaseTimers:
         booked under the timing phase.
         """
         iterator = iter(iterable)
-        while True:
-            start = time.perf_counter()
-            try:
-                item = next(iterator)
-            except StopIteration:
-                self.add(name, time.perf_counter() - start)
-                return
-            self.add(name, time.perf_counter() - start)
-            yield item
+        perf_counter = time.perf_counter  # hoisted: two calls per item
+        total = 0.0
+        try:
+            while True:
+                start = perf_counter()
+                try:
+                    item = next(iterator)
+                except StopIteration:
+                    total += perf_counter() - start
+                    return
+                total += perf_counter() - start
+                yield item
+        finally:
+            # booked once at exhaustion (or abandonment) so the hot loop
+            # never touches the accumulator dict
+            self.add(name, total)
 
     def elapsed(self, phase: str) -> float:
         return self._elapsed.get(phase, 0.0)

@@ -70,8 +70,9 @@ class CoreModel:
                  tracer=None):
         self.config = config or CoreConfig()
         self.hierarchy = hierarchy or MemoryHierarchy()
+        self._l1_latency = self.hierarchy.config.l1_latency
         self.predictor = predictor
-        self.runahead = runahead or RunaheadHooks()
+        self.runahead = runahead or RunaheadHooks()  # property: caches hooks
         self.tracer = tracer if tracer is not None else NULL_TRACER
         # the one-time no-op-sink check: per-event emission is guarded by
         # this plain boolean, never by a call into a disabled tracer
@@ -97,6 +98,20 @@ class CoreModel:
         self._reg_ready = [0] * NUM_ARCH_REGS
         self._issued_uops = 0
 
+    @property
+    def runahead(self) -> RunaheadHooks:
+        return self._runahead
+
+    @runahead.setter
+    def runahead(self, hooks: Optional[RunaheadHooks]) -> None:
+        hooks = hooks if hooks is not None else RunaheadHooks()
+        self._runahead = hooks
+        # cache the per-retire hook so the hot path can skip the call
+        # entirely when the default no-op hooks are attached (baseline runs
+        # pay nothing for the attachment point)
+        self._on_retire = (None if type(hooks) is RunaheadHooks
+                           else hooks.on_retire)
+
     # -- public entry -----------------------------------------------------
 
     def run(self, stream: Iterable[DynamicUop], warmup: int = 0,
@@ -109,19 +124,41 @@ class CoreModel:
         registers as ``initial_regs`` so the retired register file — the
         source of chain live-ins — reflects state produced before the
         region.
+
+        Short streams: if the stream ends *at or before* the warmup
+        boundary, there is no measured region to report, so the whole run
+        (warmup included) is reported instead and
+        ``stats.warmup_truncated`` is set.  Stats are only ever reset once
+        a post-warmup record actually arrives, so a region that is exactly
+        ``warmup`` long cannot report zeroed counters.
         """
         if initial_regs is not None:
             self.retired_regs = list(initial_regs)
+        # per-kind handlers indexed by the precomputed Uop.kind tag
+        # (KIND_ALU, KIND_LOAD, KIND_STORE, KIND_COND_BRANCH, KIND_JUMP,
+        # KIND_HALT — HALT never reaches the committed stream but maps to
+        # the ALU handler for safety)
+        handlers = (self._process_alu, self._process_load,
+                    self._process_store, self._process_branch,
+                    self._process_jump, self._process_alu)
         count = 0
         warmup_end_cycle = 0
+        warmed_up = False
         for record in stream:
-            self._process(record)
-            count += 1
-            if count == warmup:
+            if count == warmup and warmup:
                 warmup_end_cycle = self._last_retire_cycle
                 self._reset_stats()
-        self.stats.instructions = count - warmup if count > warmup else count
-        self.stats.cycles = max(1, self._last_retire_cycle - warmup_end_cycle)
+                warmed_up = True
+            handlers[record.uop.kind](record)
+            count += 1
+        if warmed_up:
+            self.stats.instructions = count - warmup
+            self.stats.cycles = max(1, self._last_retire_cycle
+                                    - warmup_end_cycle)
+        else:
+            self.stats.instructions = count
+            self.stats.cycles = max(1, self._last_retire_cycle)
+            self.stats.warmup_truncated = warmup > 0
         self.runahead.end_region(self._last_retire_cycle)
         return self.stats
 
@@ -131,107 +168,73 @@ class CoreModel:
         self.retired_regs = preserved_regs
 
     # -- per-instruction pipeline -------------------------------------------
+    #
+    # One specialized handler per uop kind, selected in :meth:`run` by the
+    # precomputed ``Uop.kind`` tag.  Each handler fully inlines the shared
+    # fetch / dispatch / issue / retire skeleton — including the bodies of
+    # ``RingTracker.earliest_free``/``allocate`` and the hierarchy's
+    # same-line I-fetch fast path — because at tens of thousands of dynamic
+    # uops per region even the helper-call overhead is a measurable slice of
+    # the timing phase.  KEEP THE FIVE BODIES IN SYNC; the
+    # pipeline-behaviour and differential tests pin the shared semantics.
 
     def _process(self, record: DynamicUop) -> None:
+        """Kind-dispatching entry point (compatibility wrapper)."""
+        (self._process_alu, self._process_load, self._process_store,
+         self._process_branch, self._process_jump,
+         self._process_alu)[record.uop.kind](record)
+
+    def _process_alu(self, record: DynamicUop) -> None:
         cfg = self.config
         op = record.uop
-
+        pc = record.pc
         # ---- fetch -------------------------------------------------------
         if self._fetch_slots_used >= cfg.fetch_width:
             self._next_fetch_cycle += 1
             self._fetch_slots_used = 0
         fetch_cycle = self._next_fetch_cycle
-        icache_done = self.hierarchy.access_insn(record.pc, fetch_cycle)
-        if icache_done > fetch_cycle + self.hierarchy.config.l1_latency:
-            fetch_cycle = icache_done
-            self._next_fetch_cycle = fetch_cycle
-            self._fetch_slots_used = 0
+        hierarchy = self.hierarchy
+        if pc >> 3 == hierarchy._last_insn_line:
+            hierarchy.l1i.stats.hits += 1  # same-line fetch: guaranteed hit
+        else:
+            icache_done = hierarchy.access_insn(pc, fetch_cycle)
+            if icache_done > fetch_cycle + self._l1_latency:
+                fetch_cycle = icache_done
+                self._next_fetch_cycle = fetch_cycle
+                self._fetch_slots_used = 0
         self._fetch_slots_used += 1
         if self._tracing:
             self.tracer.emit("fetch", "core", fetch_cycle,
-                             pc=record.pc, seq=record.seq)
-
-        # ---- branch prediction at fetch ------------------------------------
-        mispredicted = False
-        source = "tage"
-        if op.is_cond_branch:
-            self.stats.cond_branches += 1
-            self.stats.branch_counts[record.pc] += 1
-            if record.taken:
-                self.stats.taken_branches += 1
-            if self.predictor is not None:
-                tage_pred = self.predictor.predict(record.pc)
-            else:
-                tage_pred = record.taken  # perfect baseline when absent
-            final_pred, source = self.runahead.fetch_prediction(
-                record.pc, fetch_cycle, tage_pred)
-            if source == "dce":
-                self.stats.dce_predictions_used += 1
-            mispredicted = final_pred != record.taken
-            if tage_pred != record.taken:
-                self.stats.baseline_mispredicts += 1
-            if self.predictor is not None:
-                self.predictor.update(record.pc, record.taken)
-            if mispredicted:
-                self.stats.mispredicts += 1
-                self.stats.branch_mispredicts[record.pc] += 1
-
-        # ---- dispatch -------------------------------------------------------
+                             pc=pc, seq=record.seq)
+        # ---- dispatch / issue --------------------------------------------
         dispatch = fetch_cycle + cfg.frontend_depth
-        dispatch = self.rob.earliest_free(dispatch)
-        dispatch = self.rs.earliest_free(dispatch)
-
-        # ---- issue & execute -------------------------------------------------
+        rob = self.rob
+        oldest = rob._release[rob._next]
+        if oldest > dispatch:
+            rob.stall_events += 1
+            dispatch = oldest
+        rs = self.rs
+        oldest = rs._release[rs._next]
+        if oldest > dispatch:
+            rs.stall_events += 1
+            dispatch = oldest
         ready = dispatch
+        reg_ready = self._reg_ready
         for src in op.src_regs:
-            src_ready = self._reg_ready[src]
+            src_ready = reg_ready[src]
             if src_ready > ready:
                 ready = src_ready
         issue = self.alus.acquire(ready)
         self._issued_uops += 1
-
-        if op.is_load:
-            self.stats.loads += 1
-            self.dcache_ports.use_core(issue)
-            complete = self.forwarder.try_forward(record.addr, issue)
-            if complete < 0:
-                complete = self.hierarchy.access_data(record.addr, issue)
-        elif op.is_store:
-            self.stats.stores += 1
-            complete = issue + 1
-            self.forwarder.record_store(record.addr, complete)
-        else:
-            complete = issue + op.latency
-
+        complete = issue + op.latency
         for dst in op.dst_regs:
-            self._reg_ready[dst] = complete
-
-        # ---- branch resolution / redirect ------------------------------------
-        if op.is_cond_branch:
-            if self._tracing:
-                self.tracer.emit("branch_resolve", "core", complete,
-                                 pc=record.pc, taken=record.taken,
-                                 mispredicted=mispredicted, source=source)
-            if mispredicted:
-                resume = complete + cfg.mispredict_penalty
-                if resume > self._next_fetch_cycle:
-                    self._next_fetch_cycle = resume
-                    self._fetch_slots_used = 0
-            budget = min(cfg.wpb_max_distance,
-                         max(8, (complete - fetch_cycle) * cfg.fetch_width))
-            self.runahead.on_branch_resolved(
-                record, complete, mispredicted, self.retired_regs, budget)
-        if op.is_branch and record.taken and not mispredicted:
-            # a taken branch (predicted or unconditional) ends the fetch group
-            self._next_fetch_cycle = max(self._next_fetch_cycle,
-                                         fetch_cycle + 1)
-            self._fetch_slots_used = cfg.fetch_width
-
-        # ---- retire (in order) -----------------------------------------------
+            reg_ready[dst] = complete
+        # ---- retire ------------------------------------------------------
         retire = complete + 1
-        if retire < self._last_retire_cycle:
-            retire = self._last_retire_cycle
-        if retire == self._last_retire_cycle:
+        last = self._last_retire_cycle
+        if retire < last:
+            retire = last
+        if retire == last:
             if self._retired_in_cycle >= cfg.retire_width:
                 retire += 1
                 self._retired_in_cycle = 0
@@ -239,26 +242,404 @@ class CoreModel:
             self._retired_in_cycle = 0
         self._retired_in_cycle += 1
         self._last_retire_cycle = retire
-
-        self.rob.allocate(retire)
-        self.rs.allocate(issue + 1)
-
-        # stores write the D-cache at retire
-        if op.is_store:
-            self.dcache_ports.use_core(retire)
-            self.hierarchy.access_data(record.addr, retire, is_write=True)
-
-        # ---- architectural state + retire hooks --------------------------------
+        index = rob._next
+        rob._release[index] = retire
+        rob._next = (index + 1) % rob.capacity
+        index = rs._next
+        rs._release[index] = issue + 1
+        rs._next = (index + 1) % rs.capacity
+        retired_regs = self.retired_regs
         for dst in op.dst_regs:
-            self.retired_regs[dst] = record.dst_value
+            retired_regs[dst] = record.dst_value
         if self._tracing:
             self.tracer.emit("retire", "core", retire,
-                             pc=record.pc, seq=record.seq)
-        self.runahead.on_retire(record, retire, mispredicted,
-                                self.retired_regs)
-
+                             pc=pc, seq=record.seq)
+        on_retire = self._on_retire
+        if on_retire is not None:
+            on_retire(record, retire, False, retired_regs)
         # periodic pruning of per-cycle trackers
         if record.seq & 0x3FF == 0:
-            low_water = max(0, fetch_cycle - 512)
+            low_water = fetch_cycle - 512
+            if low_water < 0:
+                low_water = 0
+            self.alus.prune(low_water)
+            self.dcache_ports.prune(low_water)
+
+    def _process_load(self, record: DynamicUop) -> None:
+        cfg = self.config
+        op = record.uop
+        pc = record.pc
+        # ---- fetch -------------------------------------------------------
+        if self._fetch_slots_used >= cfg.fetch_width:
+            self._next_fetch_cycle += 1
+            self._fetch_slots_used = 0
+        fetch_cycle = self._next_fetch_cycle
+        hierarchy = self.hierarchy
+        if pc >> 3 == hierarchy._last_insn_line:
+            hierarchy.l1i.stats.hits += 1  # same-line fetch: guaranteed hit
+        else:
+            icache_done = hierarchy.access_insn(pc, fetch_cycle)
+            if icache_done > fetch_cycle + self._l1_latency:
+                fetch_cycle = icache_done
+                self._next_fetch_cycle = fetch_cycle
+                self._fetch_slots_used = 0
+        self._fetch_slots_used += 1
+        if self._tracing:
+            self.tracer.emit("fetch", "core", fetch_cycle,
+                             pc=pc, seq=record.seq)
+        # ---- dispatch / issue --------------------------------------------
+        dispatch = fetch_cycle + cfg.frontend_depth
+        rob = self.rob
+        oldest = rob._release[rob._next]
+        if oldest > dispatch:
+            rob.stall_events += 1
+            dispatch = oldest
+        rs = self.rs
+        oldest = rs._release[rs._next]
+        if oldest > dispatch:
+            rs.stall_events += 1
+            dispatch = oldest
+        ready = dispatch
+        reg_ready = self._reg_ready
+        for src in op.src_regs:
+            src_ready = reg_ready[src]
+            if src_ready > ready:
+                ready = src_ready
+        issue = self.alus.acquire(ready)
+        self._issued_uops += 1
+        self.stats.loads += 1
+        self.dcache_ports.use_core(issue)
+        complete = self.forwarder.try_forward(record.addr, issue)
+        if complete < 0:
+            complete = hierarchy.access_data(record.addr, issue)
+        for dst in op.dst_regs:
+            reg_ready[dst] = complete
+        # ---- retire ------------------------------------------------------
+        retire = complete + 1
+        last = self._last_retire_cycle
+        if retire < last:
+            retire = last
+        if retire == last:
+            if self._retired_in_cycle >= cfg.retire_width:
+                retire += 1
+                self._retired_in_cycle = 0
+        else:
+            self._retired_in_cycle = 0
+        self._retired_in_cycle += 1
+        self._last_retire_cycle = retire
+        index = rob._next
+        rob._release[index] = retire
+        rob._next = (index + 1) % rob.capacity
+        index = rs._next
+        rs._release[index] = issue + 1
+        rs._next = (index + 1) % rs.capacity
+        retired_regs = self.retired_regs
+        for dst in op.dst_regs:
+            retired_regs[dst] = record.dst_value
+        if self._tracing:
+            self.tracer.emit("retire", "core", retire,
+                             pc=pc, seq=record.seq)
+        on_retire = self._on_retire
+        if on_retire is not None:
+            on_retire(record, retire, False, retired_regs)
+        # periodic pruning of per-cycle trackers
+        if record.seq & 0x3FF == 0:
+            low_water = fetch_cycle - 512
+            if low_water < 0:
+                low_water = 0
+            self.alus.prune(low_water)
+            self.dcache_ports.prune(low_water)
+
+    def _process_store(self, record: DynamicUop) -> None:
+        cfg = self.config
+        op = record.uop
+        pc = record.pc
+        # ---- fetch -------------------------------------------------------
+        if self._fetch_slots_used >= cfg.fetch_width:
+            self._next_fetch_cycle += 1
+            self._fetch_slots_used = 0
+        fetch_cycle = self._next_fetch_cycle
+        hierarchy = self.hierarchy
+        if pc >> 3 == hierarchy._last_insn_line:
+            hierarchy.l1i.stats.hits += 1  # same-line fetch: guaranteed hit
+        else:
+            icache_done = hierarchy.access_insn(pc, fetch_cycle)
+            if icache_done > fetch_cycle + self._l1_latency:
+                fetch_cycle = icache_done
+                self._next_fetch_cycle = fetch_cycle
+                self._fetch_slots_used = 0
+        self._fetch_slots_used += 1
+        if self._tracing:
+            self.tracer.emit("fetch", "core", fetch_cycle,
+                             pc=pc, seq=record.seq)
+        # ---- dispatch / issue --------------------------------------------
+        dispatch = fetch_cycle + cfg.frontend_depth
+        rob = self.rob
+        oldest = rob._release[rob._next]
+        if oldest > dispatch:
+            rob.stall_events += 1
+            dispatch = oldest
+        rs = self.rs
+        oldest = rs._release[rs._next]
+        if oldest > dispatch:
+            rs.stall_events += 1
+            dispatch = oldest
+        ready = dispatch
+        reg_ready = self._reg_ready
+        for src in op.src_regs:
+            src_ready = reg_ready[src]
+            if src_ready > ready:
+                ready = src_ready
+        issue = self.alus.acquire(ready)
+        self._issued_uops += 1
+        self.stats.stores += 1
+        complete = issue + 1
+        self.forwarder.record_store(record.addr, complete)
+        # ---- retire ------------------------------------------------------
+        retire = complete + 1
+        last = self._last_retire_cycle
+        if retire < last:
+            retire = last
+        if retire == last:
+            if self._retired_in_cycle >= cfg.retire_width:
+                retire += 1
+                self._retired_in_cycle = 0
+        else:
+            self._retired_in_cycle = 0
+        self._retired_in_cycle += 1
+        self._last_retire_cycle = retire
+        index = rob._next
+        rob._release[index] = retire
+        rob._next = (index + 1) % rob.capacity
+        index = rs._next
+        rs._release[index] = issue + 1
+        rs._next = (index + 1) % rs.capacity
+        # stores write the D-cache at retire
+        self.dcache_ports.use_core(retire)
+        hierarchy.access_data(record.addr, retire, is_write=True)
+        retired_regs = self.retired_regs
+        for dst in op.dst_regs:
+            retired_regs[dst] = record.dst_value
+        if self._tracing:
+            self.tracer.emit("retire", "core", retire,
+                             pc=pc, seq=record.seq)
+        on_retire = self._on_retire
+        if on_retire is not None:
+            on_retire(record, retire, False, retired_regs)
+        # periodic pruning of per-cycle trackers
+        if record.seq & 0x3FF == 0:
+            low_water = fetch_cycle - 512
+            if low_water < 0:
+                low_water = 0
+            self.alus.prune(low_water)
+            self.dcache_ports.prune(low_water)
+
+    def _process_jump(self, record: DynamicUop) -> None:
+        cfg = self.config
+        op = record.uop
+        pc = record.pc
+        # ---- fetch -------------------------------------------------------
+        if self._fetch_slots_used >= cfg.fetch_width:
+            self._next_fetch_cycle += 1
+            self._fetch_slots_used = 0
+        fetch_cycle = self._next_fetch_cycle
+        hierarchy = self.hierarchy
+        if pc >> 3 == hierarchy._last_insn_line:
+            hierarchy.l1i.stats.hits += 1  # same-line fetch: guaranteed hit
+        else:
+            icache_done = hierarchy.access_insn(pc, fetch_cycle)
+            if icache_done > fetch_cycle + self._l1_latency:
+                fetch_cycle = icache_done
+                self._next_fetch_cycle = fetch_cycle
+                self._fetch_slots_used = 0
+        self._fetch_slots_used += 1
+        if self._tracing:
+            self.tracer.emit("fetch", "core", fetch_cycle,
+                             pc=pc, seq=record.seq)
+        # ---- dispatch / issue --------------------------------------------
+        dispatch = fetch_cycle + cfg.frontend_depth
+        rob = self.rob
+        oldest = rob._release[rob._next]
+        if oldest > dispatch:
+            rob.stall_events += 1
+            dispatch = oldest
+        rs = self.rs
+        oldest = rs._release[rs._next]
+        if oldest > dispatch:
+            rs.stall_events += 1
+            dispatch = oldest
+        ready = dispatch
+        reg_ready = self._reg_ready
+        for src in op.src_regs:
+            src_ready = reg_ready[src]
+            if src_ready > ready:
+                ready = src_ready
+        issue = self.alus.acquire(ready)
+        self._issued_uops += 1
+        complete = issue + op.latency
+        # an unconditional (always taken, never mispredicted) branch ends
+        # the fetch group
+        if self._next_fetch_cycle < fetch_cycle + 1:
+            self._next_fetch_cycle = fetch_cycle + 1
+        self._fetch_slots_used = cfg.fetch_width
+        # ---- retire ------------------------------------------------------
+        retire = complete + 1
+        last = self._last_retire_cycle
+        if retire < last:
+            retire = last
+        if retire == last:
+            if self._retired_in_cycle >= cfg.retire_width:
+                retire += 1
+                self._retired_in_cycle = 0
+        else:
+            self._retired_in_cycle = 0
+        self._retired_in_cycle += 1
+        self._last_retire_cycle = retire
+        index = rob._next
+        rob._release[index] = retire
+        rob._next = (index + 1) % rob.capacity
+        index = rs._next
+        rs._release[index] = issue + 1
+        rs._next = (index + 1) % rs.capacity
+        retired_regs = self.retired_regs
+        for dst in op.dst_regs:
+            retired_regs[dst] = record.dst_value
+        if self._tracing:
+            self.tracer.emit("retire", "core", retire,
+                             pc=pc, seq=record.seq)
+        on_retire = self._on_retire
+        if on_retire is not None:
+            on_retire(record, retire, False, retired_regs)
+        # periodic pruning of per-cycle trackers
+        if record.seq & 0x3FF == 0:
+            low_water = fetch_cycle - 512
+            if low_water < 0:
+                low_water = 0
+            self.alus.prune(low_water)
+            self.dcache_ports.prune(low_water)
+
+    def _process_branch(self, record: DynamicUop) -> None:
+        cfg = self.config
+        op = record.uop
+        pc = record.pc
+        # ---- fetch -------------------------------------------------------
+        if self._fetch_slots_used >= cfg.fetch_width:
+            self._next_fetch_cycle += 1
+            self._fetch_slots_used = 0
+        fetch_cycle = self._next_fetch_cycle
+        hierarchy = self.hierarchy
+        if pc >> 3 == hierarchy._last_insn_line:
+            hierarchy.l1i.stats.hits += 1  # same-line fetch: guaranteed hit
+        else:
+            icache_done = hierarchy.access_insn(pc, fetch_cycle)
+            if icache_done > fetch_cycle + self._l1_latency:
+                fetch_cycle = icache_done
+                self._next_fetch_cycle = fetch_cycle
+                self._fetch_slots_used = 0
+        self._fetch_slots_used += 1
+        if self._tracing:
+            self.tracer.emit("fetch", "core", fetch_cycle,
+                             pc=pc, seq=record.seq)
+
+        # ---- branch prediction at fetch ----------------------------------
+        stats = self.stats
+        taken = record.taken
+        stats.cond_branches += 1
+        stats.branch_counts[pc] += 1
+        if taken:
+            stats.taken_branches += 1
+        predictor = self.predictor
+        if predictor is not None:
+            tage_pred = predictor.predict(pc)
+        else:
+            tage_pred = taken  # perfect baseline when absent
+        final_pred, source = self._runahead.fetch_prediction(
+            pc, fetch_cycle, tage_pred)
+        if source == "dce":
+            stats.dce_predictions_used += 1
+        mispredicted = final_pred != taken
+        if tage_pred != taken:
+            stats.baseline_mispredicts += 1
+        if predictor is not None:
+            predictor.update(pc, taken)
+        if mispredicted:
+            stats.mispredicts += 1
+            stats.branch_mispredicts[pc] += 1
+
+        # ---- dispatch / issue --------------------------------------------
+        dispatch = fetch_cycle + cfg.frontend_depth
+        rob = self.rob
+        oldest = rob._release[rob._next]
+        if oldest > dispatch:
+            rob.stall_events += 1
+            dispatch = oldest
+        rs = self.rs
+        oldest = rs._release[rs._next]
+        if oldest > dispatch:
+            rs.stall_events += 1
+            dispatch = oldest
+        ready = dispatch
+        reg_ready = self._reg_ready
+        for src in op.src_regs:
+            src_ready = reg_ready[src]
+            if src_ready > ready:
+                ready = src_ready
+        issue = self.alus.acquire(ready)
+        self._issued_uops += 1
+        complete = issue + op.latency
+
+        # ---- branch resolution / redirect --------------------------------
+        if self._tracing:
+            self.tracer.emit("branch_resolve", "core", complete,
+                             pc=pc, taken=taken,
+                             mispredicted=mispredicted, source=source)
+        if mispredicted:
+            resume = complete + cfg.mispredict_penalty
+            if resume > self._next_fetch_cycle:
+                self._next_fetch_cycle = resume
+                self._fetch_slots_used = 0
+        budget = min(cfg.wpb_max_distance,
+                     max(8, (complete - fetch_cycle) * cfg.fetch_width))
+        self._runahead.on_branch_resolved(
+            record, complete, mispredicted, self.retired_regs, budget)
+        if taken and not mispredicted:
+            # a predicted-taken branch ends the fetch group
+            if self._next_fetch_cycle < fetch_cycle + 1:
+                self._next_fetch_cycle = fetch_cycle + 1
+            self._fetch_slots_used = cfg.fetch_width
+
+        # ---- retire ------------------------------------------------------
+        retire = complete + 1
+        last = self._last_retire_cycle
+        if retire < last:
+            retire = last
+        if retire == last:
+            if self._retired_in_cycle >= cfg.retire_width:
+                retire += 1
+                self._retired_in_cycle = 0
+        else:
+            self._retired_in_cycle = 0
+        self._retired_in_cycle += 1
+        self._last_retire_cycle = retire
+        index = rob._next
+        rob._release[index] = retire
+        rob._next = (index + 1) % rob.capacity
+        index = rs._next
+        rs._release[index] = issue + 1
+        rs._next = (index + 1) % rs.capacity
+        retired_regs = self.retired_regs
+        for dst in op.dst_regs:
+            retired_regs[dst] = record.dst_value
+        if self._tracing:
+            self.tracer.emit("retire", "core", retire,
+                             pc=pc, seq=record.seq)
+        on_retire = self._on_retire
+        if on_retire is not None:
+            on_retire(record, retire, mispredicted, retired_regs)
+        # periodic pruning of per-cycle trackers
+        if record.seq & 0x3FF == 0:
+            low_water = fetch_cycle - 512
+            if low_water < 0:
+                low_water = 0
             self.alus.prune(low_water)
             self.dcache_ports.prune(low_water)

@@ -29,9 +29,18 @@ class FuTracker:
 
     def acquire(self, cycle: int) -> int:
         usage = self._usage
-        for candidate in range(cycle, cycle + self.horizon):
-            if usage.get(candidate, 0) < self.count:
-                usage[candidate] = usage.get(candidate, 0) + 1
+        count = self.count
+        # fast path: the requested cycle itself almost always has a free unit
+        used = usage.get(cycle, 0)
+        if used < count:
+            usage[cycle] = used + 1
+            self.total_acquired += 1
+            return cycle
+        get = usage.get
+        for candidate in range(cycle + 1, cycle + self.horizon):
+            used = get(candidate, 0)
+            if used < count:
+                usage[candidate] = used + 1
                 self.total_acquired += 1
                 return candidate
         self.total_acquired += 1

@@ -26,6 +26,9 @@ class CoreStats:
         #: regardless of any prediction-queue override (per-mechanism
         #: attribution, as in LDBP's evaluation).
         self.baseline_mispredicts = 0
+        #: True when the stream ended at or before the warmup boundary, so
+        #: the reported counts cover the whole (unwarmed) run.
+        self.warmup_truncated = False
 
     @property
     def ipc(self) -> float:
@@ -65,6 +68,7 @@ class CoreStats:
         scope.counter("cycles").set(self.cycles)
         scope.gauge("ipc").set(self.ipc)
         scope.gauge("mpki").set(self.mpki)
+        scope.gauge("warmup_truncated").set(int(self.warmup_truncated))
         fetch = scope.scope("fetch")
         fetch.counter("cond_branches").set(self.cond_branches)
         fetch.counter("mispredicts").set(self.mispredicts)
@@ -96,4 +100,5 @@ class CoreStats:
             "dce_predictions_used": self.dce_predictions_used,
             "baseline_mispredicts": self.baseline_mispredicts,
             "branch_accuracy": self.branch_accuracy(),
+            "warmup_truncated": self.warmup_truncated,
         }

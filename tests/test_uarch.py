@@ -282,3 +282,42 @@ class TestRunaheadHookWiring:
 
         simulate(build, runahead=Capture())
         assert captured[-1][0] == 16
+
+
+class TestWarmupEdgeCases:
+    """Short-stream warmup semantics (see CoreModel.run docstring)."""
+
+    def test_stream_shorter_than_warmup_reports_whole_run(self):
+        _, stats = simulate(straightline_program, max_instructions=800,
+                            warmup=5000)
+        assert stats.warmup_truncated
+        assert stats.instructions == 800
+        assert stats.cycles >= 1
+
+    def test_stream_exactly_warmup_long_is_truncated(self):
+        """A region exactly ``warmup`` long has no measured instructions;
+        the whole run must be reported instead of zeroed counters."""
+        _, stats = simulate(straightline_program, max_instructions=5000,
+                            warmup=5000)
+        assert stats.warmup_truncated
+        assert stats.instructions == 5000
+        assert stats.ipc > 0
+
+    def test_one_post_warmup_record_resets_stats(self):
+        _, stats = simulate(straightline_program, max_instructions=5001,
+                            warmup=5000)
+        assert not stats.warmup_truncated
+        assert stats.instructions == 1
+
+    def test_zero_warmup_never_truncates(self):
+        _, stats = simulate(straightline_program, max_instructions=300,
+                            warmup=0)
+        assert not stats.warmup_truncated
+        assert stats.instructions == 300
+
+    def test_empty_stream_with_warmup(self):
+        core = CoreModel(predictor=BimodalPredictor())
+        stats = core.run(iter(()), warmup=100)
+        assert stats.warmup_truncated
+        assert stats.instructions == 0
+        assert stats.cycles == 1
