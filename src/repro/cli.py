@@ -72,6 +72,10 @@ def _build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--jobs", type=int, default=None,
                          help="parallel worker processes "
                          "(default: REPRO_JOBS, serial when unset)")
+    compare.add_argument("--mpki-only", action="store_true",
+                         help="request branch outcomes only: baseline "
+                         "cells take the MPKI replay fast path and no "
+                         "IPC columns are printed")
     compare.add_argument("--json", action="store_true",
                          help="emit one JSON object per benchmark")
 
@@ -92,6 +96,9 @@ def _build_parser() -> argparse.ArgumentParser:
                            "(default: REPRO_JOBS, serial when unset)")
     bench_cmd.add_argument("--out", default="BENCH_run.json",
                            help="report path (default: BENCH_run.json)")
+    bench_cmd.add_argument("--baseline", default=None, metavar="PATH",
+                           help="committed report (e.g. BENCH_seed.json) "
+                           "to diff uops/sec against, warn-only")
 
     stats = sub.add_parser(
         "stats", help="dump the unified stat registry as JSON")
@@ -173,34 +180,45 @@ def _cmd_compare(args) -> int:
     # trace cache emulates each benchmark once for both sides
     cells = [(name, token) for name in names
              for token in (base_token, br_token)]
+    outputs = "mpki" if args.mpki_only else "full"
     rows = experiments.run_cells(cells, instructions=args.instructions,
                                  warmup=args.warmup, jobs=args.jobs,
-                                 chunksize=2)
+                                 chunksize=2, outputs=outputs)
     if not args.json:
-        print(f"{'benchmark':14s} {'base MPKI':>10s} {'BR MPKI':>10s} "
-              f"{'ΔMPKI':>8s} {'base IPC':>9s} {'BR IPC':>9s} {'ΔIPC':>8s}")
+        header = (f"{'benchmark':14s} {'base MPKI':>10s} {'BR MPKI':>10s} "
+                  f"{'ΔMPKI':>8s}")
+        if not args.mpki_only:
+            header += (f" {'base IPC':>9s} {'BR IPC':>9s} {'ΔIPC':>8s}")
+        print(header)
     for base_row, br_row in zip(rows[::2], rows[1::2]):
         name = base_row["benchmark"]
         base = base_row["payload"]
         variant = br_row["payload"]
         mpki_delta = mpki_improvement(base["mpki"], variant["mpki"])
-        ipc_delta = ipc_improvement(base["ipc"], variant["ipc"])
         if args.json:
-            print(json.dumps({
+            row = {
                 "benchmark": name,
                 "predictor": args.predictor,
                 "config": args.config,
-                "baseline": {"mpki": base["mpki"], "ipc": base["ipc"]},
-                "branch_runahead": {"mpki": variant["mpki"],
-                                    "ipc": variant["ipc"]},
+                "baseline": {"mpki": base["mpki"]},
+                "branch_runahead": {"mpki": variant["mpki"]},
                 "mpki_improvement_pct": mpki_delta,
-                "ipc_improvement_pct": ipc_delta,
-            }, sort_keys=True))
+            }
+            if not args.mpki_only:
+                row["baseline"]["ipc"] = base["ipc"]
+                row["branch_runahead"]["ipc"] = variant["ipc"]
+                row["ipc_improvement_pct"] = ipc_improvement(
+                    base["ipc"], variant["ipc"])
+            print(json.dumps(row, sort_keys=True))
         else:
-            print(f"{name:14s} {base['mpki']:>10.2f} "
-                  f"{variant['mpki']:>10.2f} "
-                  f"{mpki_delta:>+7.1f}% {base['ipc']:>9.3f} "
-                  f"{variant['ipc']:>9.3f} {ipc_delta:>+7.1f}%")
+            line = (f"{name:14s} {base['mpki']:>10.2f} "
+                    f"{variant['mpki']:>10.2f} "
+                    f"{mpki_delta:>+7.1f}%")
+            if not args.mpki_only:
+                ipc_delta = ipc_improvement(base["ipc"], variant["ipc"])
+                line += (f" {base['ipc']:>9.3f} "
+                         f"{variant['ipc']:>9.3f} {ipc_delta:>+7.1f}%")
+            print(line)
     return 0
 
 
@@ -221,6 +239,21 @@ def _cmd_bench(args) -> int:
         return 1
     print(bench.format_report(report))
     print(f"report written to {args.out}")
+    if args.baseline:
+        try:
+            with open(args.baseline) as handle:
+                baseline_report = json.load(handle)
+        except (OSError, ValueError) as error:
+            print(f"repro bench: warning: cannot read baseline "
+                  f"{args.baseline}: {error}", file=sys.stderr)
+        else:
+            warnings = bench.compare_to_baseline(report, baseline_report)
+            for warning in warnings:
+                print(f"repro bench: warning: {warning}", file=sys.stderr)
+            if not warnings:
+                print(f"throughput within "
+                      f"{100 * bench.BASELINE_WARN_FRACTION:.0f}% of "
+                      f"{args.baseline}")
     if not report["drift"]["ok"]:
         print("repro bench: error: fast-path results drifted from the "
               "reference path", file=sys.stderr)

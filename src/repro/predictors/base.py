@@ -26,6 +26,18 @@ class BranchPredictor(ABC):
     def update(self, pc: int, taken: bool) -> None:
         """Train with the resolved direction of the branch at ``pc``."""
 
+    def observe(self, pc: int, taken: bool) -> bool:
+        """Predict then train on one committed branch; return the prediction.
+
+        The fused spelling of the CBP discipline used by hot loops (the
+        core's branch handler when no runahead hooks are attached, and the
+        MPKI-only replay path).  Semantically identical to
+        ``predict(pc)`` followed by ``update(pc, taken)``.
+        """
+        prediction = self.predict(pc)
+        self.update(pc, taken)
+        return prediction
+
     def storage_bits(self) -> int:
         """Approximate storage cost in bits (0 if not meaningful)."""
         return 0

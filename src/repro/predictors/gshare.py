@@ -1,8 +1,15 @@
-"""GShare predictor: global-history XOR PC indexed 2-bit counters."""
+"""GShare predictor: global-history XOR PC indexed 2-bit counters.
+
+The counter table is a packed :class:`bytearray` store with precomputed
+saturating clamp tables (see :mod:`repro.predictors.storage`); the original
+list-of-ints spelling lives on as
+:class:`repro.predictors.reference.ReferenceGSharePredictor`.
+"""
 
 from __future__ import annotations
 
 from repro.predictors.base import BranchPredictor
+from repro.predictors.storage import clamp_tables, unsigned_store
 
 
 class GSharePredictor(BranchPredictor):
@@ -15,24 +22,25 @@ class GSharePredictor(BranchPredictor):
         self.history_bits = history_bits
         self._index_mask = (1 << size_log2) - 1
         self._history_mask = (1 << history_bits) - 1
-        self.table = [1] * (1 << size_log2)  # weakly not-taken
+        self.table = unsigned_store(1 << size_log2, 1)  # weakly not-taken
         self.history = 0
+        self._inc, self._dec = clamp_tables(0, 3)
 
     def _index(self, pc: int) -> int:
         return (pc ^ self.history) & self._index_mask
 
     def predict(self, pc: int) -> bool:
-        return self.table[self._index(pc)] >= 2
+        return self.table[(pc ^ self.history) & self._index_mask] >= 2
 
     def update(self, pc: int, taken: bool) -> None:
-        index = self._index(pc)
-        value = self.table[index]
-        if taken and value < 3:
-            self.table[index] = value + 1
-        elif not taken and value > 0:
-            self.table[index] = value - 1
-        self.history = ((self.history << 1) | (1 if taken else 0)) \
-            & self._history_mask
+        table = self.table
+        index = (pc ^ self.history) & self._index_mask
+        if taken:
+            table[index] = self._inc[table[index]]
+            self.history = ((self.history << 1) | 1) & self._history_mask
+        else:
+            table[index] = self._dec[table[index]]
+            self.history = (self.history << 1) & self._history_mask
 
     def storage_bits(self) -> int:
         return len(self.table) * 2 + self.history_bits

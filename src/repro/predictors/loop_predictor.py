@@ -4,22 +4,18 @@ Detects branches with constant trip counts and predicts the loop exit — the
 one case a counter/history predictor systematically misses.  Entries learn a
 trip count and gain confidence each time the same count repeats; once
 confident, the predictor supplies "taken until iteration == trip count".
+
+Entry state is struct-of-arrays: six parallel packed stores (tag,
+past/current iteration, confidence, direction, age) indexed by the same
+set index, replacing the per-entry ``_LoopEntry`` objects preserved in
+:class:`repro.predictors.reference.ReferenceLoopPredictor`.
 """
 
 from __future__ import annotations
 
+from array import array
 
-class _LoopEntry:
-    __slots__ = ("tag", "past_iter", "current_iter", "confidence", "direction",
-                 "age")
-
-    def __init__(self):
-        self.tag = -1
-        self.past_iter = 0
-        self.current_iter = 0
-        self.confidence = 0
-        self.direction = True  # direction taken while iterating
-        self.age = 0
+from repro.predictors.storage import unsigned_store
 
 
 class LoopPredictor:
@@ -35,59 +31,75 @@ class LoopPredictor:
     def __init__(self, size_log2: int = 6, tag_bits: int = 14):
         self._mask = (1 << size_log2) - 1
         self._tag_mask = (1 << tag_bits) - 1
-        self.entries = [_LoopEntry() for _ in range(1 << size_log2)]
         self.size_log2 = size_log2
         self.tag_bits = tag_bits
-
-    def _lookup(self, pc: int):
-        entry = self.entries[pc & self._mask]
-        tag = (pc >> self.size_log2) & self._tag_mask
-        return entry, tag
+        size = 1 << size_log2
+        self._size = size
+        # parallel packed entry fields ('l' for tags/iters: tags start at
+        # the never-matching -1 sentinel, trip counts are unbounded ints)
+        self._tags = array("l", [-1]) * size
+        self._past_iter = array("l", [0]) * size
+        self._current_iter = array("l", [0]) * size
+        self._confidence = unsigned_store(size)
+        self._direction = unsigned_store(size, 1)  # taken while iterating
+        self._age = unsigned_store(size)
 
     def predict(self, pc: int):
         """Return ``(valid, direction)`` for the branch at ``pc``."""
-        entry, tag = self._lookup(pc)
-        if entry.tag != tag or entry.confidence < self.CONFIDENCE_MAX:
+        index = pc & self._mask
+        tag = (pc >> self.size_log2) & self._tag_mask
+        if self._tags[index] != tag \
+                or self._confidence[index] < self.CONFIDENCE_MAX:
             return False, False
-        if entry.current_iter == entry.past_iter:
-            return True, not entry.direction  # predict the exit
-        return True, entry.direction
+        direction = bool(self._direction[index])
+        if self._current_iter[index] == self._past_iter[index]:
+            return True, not direction  # predict the exit
+        return True, direction
 
     def update(self, pc: int, taken: bool) -> None:
-        entry, tag = self._lookup(pc)
-        if entry.tag != tag:
+        index = pc & self._mask
+        tag = (pc >> self.size_log2) & self._tag_mask
+        if self._tags[index] != tag:
             # allocate if the current occupant has aged out
-            if entry.age == 0:
-                entry.tag = tag
-                entry.past_iter = 0
-                entry.current_iter = 0
-                entry.confidence = 0
-                entry.direction = taken
-                entry.age = self.AGE_MAX
+            age = self._age[index]
+            if age == 0:
+                self._tags[index] = tag
+                self._past_iter[index] = 0
+                self._current_iter[index] = 0
+                self._confidence[index] = 0
+                self._direction[index] = 1 if taken else 0
+                self._age[index] = self.AGE_MAX
             else:
-                entry.age -= 1
+                self._age[index] = age - 1
             return
 
-        if taken == entry.direction:
-            entry.current_iter += 1
-            if entry.past_iter and entry.current_iter > entry.past_iter:
+        if taken == bool(self._direction[index]):
+            current = self._current_iter[index] + 1
+            past = self._past_iter[index]
+            if past and current > past:
                 # ran past the learned trip count: not a fixed-trip loop
-                entry.confidence = 0
-                entry.past_iter = 0
-                entry.current_iter = 0
+                self._confidence[index] = 0
+                self._past_iter[index] = 0
+                self._current_iter[index] = 0
+            else:
+                self._current_iter[index] = current
         else:
             # loop exit observed
-            if entry.current_iter == entry.past_iter and entry.past_iter > 0:
-                if entry.confidence < self.CONFIDENCE_MAX:
-                    entry.confidence += 1
-                if entry.age < self.AGE_MAX:
-                    entry.age += 1
+            current = self._current_iter[index]
+            past = self._past_iter[index]
+            if current == past and past > 0:
+                confidence = self._confidence[index]
+                if confidence < self.CONFIDENCE_MAX:
+                    self._confidence[index] = confidence + 1
+                age = self._age[index]
+                if age < self.AGE_MAX:
+                    self._age[index] = age + 1
             else:
-                entry.past_iter = entry.current_iter
-                entry.confidence = 0
-            entry.current_iter = 0
+                self._past_iter[index] = current
+                self._confidence[index] = 0
+            self._current_iter[index] = 0
 
     def storage_bits(self) -> int:
         # tag + past/current iteration (14b each) + confidence + direction + age
         per_entry = self.tag_bits + 14 + 14 + 2 + 1 + 3
-        return len(self.entries) * per_entry
+        return self._size * per_entry

@@ -5,13 +5,22 @@ predictors [19] among the history-based family that data-dependent
 branches defeat).  Each branch hashes to a weight vector; the prediction
 is the sign of the dot product with the global history, trained on
 mispredictions or low-confidence outputs.
+
+Weight rows are packed signed-``array`` stores and training uses the
+precomputed clamp tables from :mod:`repro.predictors.storage` (the weight
+delta is always ±1, so a saturating step is a single table index).  The
+original list-of-lists spelling lives on as
+:class:`repro.predictors.reference.ReferencePerceptronPredictor`;
+``self.weights`` remains an iterable of per-perceptron rows.
 """
 
 from __future__ import annotations
 
+from array import array
 from typing import List
 
 from repro.predictors.base import BranchPredictor
+from repro.predictors.storage import signed_clamp_tables, signed_typecode
 
 
 class PerceptronPredictor(BranchPredictor):
@@ -28,10 +37,12 @@ class PerceptronPredictor(BranchPredictor):
         #: Jimenez's empirically optimal training threshold.
         self.threshold = int(1.93 * history_bits + 14)
         # weights[i][0] is the bias weight; [1..h] pair with history bits
-        self.weights: List[List[int]] = [
-            [0] * (history_bits + 1) for _ in range(num_perceptrons)
-        ]
+        typecode = signed_typecode(weight_bits)
+        row = array(typecode, [0]) * (history_bits + 1)
+        self.weights: List[array] = [array(typecode, row)
+                                     for _ in range(num_perceptrons)]
         self._history: List[int] = [1] * history_bits  # +1/-1 encoding
+        self._inc, self._dec = signed_clamp_tables(weight_bits)
         self._last_output = 0
         self._last_index = 0
 
@@ -39,18 +50,19 @@ class PerceptronPredictor(BranchPredictor):
         return pc % self.num_perceptrons
 
     def predict(self, pc: int) -> bool:
-        index = self._index(pc)
+        index = pc % self.num_perceptrons
         weights = self.weights[index]
         output = weights[0]
-        history = self._history
-        for position in range(self.history_bits):
-            output += weights[position + 1] * history[position]
+        position = 1
+        for bit in self._history:
+            output += weights[position] if bit > 0 else -weights[position]
+            position += 1
         self._last_output = output
         self._last_index = index
         return output >= 0
 
     def update(self, pc: int, taken: bool) -> None:
-        index = self._index(pc)
+        index = pc % self.num_perceptrons
         if index != self._last_index:
             self.predict(pc)
         output = self._last_output
@@ -58,12 +70,19 @@ class PerceptronPredictor(BranchPredictor):
         target = 1 if taken else -1
         if predicted != taken or abs(output) <= self.threshold:
             weights = self.weights[index]
-            weights[0] = self._clip(weights[0] + target)
-            history = self._history
-            for position in range(self.history_bits):
-                delta = target * history[position]
-                weights[position + 1] = self._clip(
-                    weights[position + 1] + delta)
+            # weight deltas are target * history_bit = ±1: a saturating
+            # step through the precomputed clamp tables, incrementing when
+            # the history bit agrees with the target sign
+            low = self._weight_min
+            inc, dec = self._inc, self._dec
+            weights[0] = (inc if taken else dec)[weights[0] - low]
+            position = 1
+            for bit in self._history:
+                if (bit > 0) == taken:
+                    weights[position] = inc[weights[position] - low]
+                else:
+                    weights[position] = dec[weights[position] - low]
+                position += 1
         self._history.insert(0, target)
         self._history.pop()
 

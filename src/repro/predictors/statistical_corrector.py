@@ -6,13 +6,27 @@ conditioned on the TAGE prediction.  When the weighted sum disagrees with
 TAGE confidently enough (adaptive threshold), the SC flips the prediction.
 This catches statistically biased branches that TAGE's tagged matching
 handles poorly.
+
+Counter tables are packed signed-``array('b')`` stores (the counters are
+6-bit, [-32, 31]) trained through precomputed clamp tables; folded-history
+state is kept in flat parallel lists so the per-branch hash loop runs on
+local list indexing.  ``compute_sum`` caches its table indices for the
+immediately following ``update`` of the same branch — the fold registers
+only advance at the end of ``update``, so the cached indices are exactly
+what the reference implementation recomputes.  The original list-of-ints
+spelling lives on as
+:class:`repro.predictors.reference.ReferenceStatisticalCorrector`.
 """
 
 from __future__ import annotations
 
 from typing import List, Sequence
 
-from repro.predictors.counters import FoldedHistory, HistoryBuffer
+from repro.predictors.storage import (
+    HistoryBuffer,
+    clamp_tables,
+    signed_store,
+)
 
 
 class StatisticalCorrector:
@@ -27,29 +41,46 @@ class StatisticalCorrector:
         self.table_size_log2 = table_size_log2
         self._mask = (1 << table_size_log2) - 1
         size = 1 << table_size_log2
-        self.tables: List[List[int]] = [
-            [0] * size for _ in self.history_lengths
-        ]
-        self.bias = [0] * (2 << table_size_log2)  # indexed by (pc, tage_pred)
+        self.tables = [signed_store(size, 6) for _ in self.history_lengths]
+        self.bias = signed_store(2 << table_size_log2, 6)
+        self._bias_mask = (2 << table_size_log2) - 1
         max_history = max(self.history_lengths)
         self._history = HistoryBuffer(max_history + 2)
-        self._folds = [FoldedHistory(length, table_size_log2)
-                       for length in self.history_lengths]
+        # folded-history registers, flat: comp value and out-shift per table
+        # (the compressed length is table_size_log2 for every fold)
+        self._fold_comps = [0] * len(self.history_lengths)
+        self._fold_shifts = [length % table_size_log2
+                             for length in self.history_lengths]
+        self._inc, self._dec = clamp_tables(self.COUNTER_MIN,
+                                            self.COUNTER_MAX)
         self.threshold = 6
         self._threshold_counter = 0
+        # indices cached by compute_sum for the paired update
+        self._ctx_pc = -1
+        self._ctx_indices = [0] * len(self.history_lengths)
 
     def _indices(self, pc: int) -> List[int]:
-        return [(pc ^ fold.comp ^ (pc >> 3)) & self._mask
-                for fold in self._folds]
+        pcx = pc ^ (pc >> 3)
+        mask = self._mask
+        return [(pcx ^ comp) & mask for comp in self._fold_comps]
 
     def _bias_index(self, pc: int, tage_pred: bool) -> int:
-        return ((pc << 1) | (1 if tage_pred else 0)) & (len(self.bias) - 1)
+        return ((pc << 1) | (1 if tage_pred else 0)) & self._bias_mask
 
     def compute_sum(self, pc: int, tage_pred: bool) -> int:
         """Centered sum of all corrector counters (positive = taken)."""
-        total = 2 * self.bias[self._bias_index(pc, tage_pred)] + 1
-        for table, index in zip(self.tables, self._indices(pc)):
-            total += 2 * table[index] + 1
+        bias_index = ((pc << 1) | (1 if tage_pred else 0)) & self._bias_mask
+        total = 2 * self.bias[bias_index] + 1
+        pcx = pc ^ (pc >> 3)
+        mask = self._mask
+        indices = self._ctx_indices
+        comps = self._fold_comps
+        tables = self.tables
+        for position in range(len(tables)):
+            index = (pcx ^ comps[position]) & mask
+            indices[position] = index
+            total += 2 * tables[position][index] + 1
+        self._ctx_pc = pc
         # fold the TAGE direction in, as the reference SC does
         total += 8 if tage_pred else -8
         return total
@@ -80,21 +111,27 @@ class StatisticalCorrector:
         # train counters when the sum is weak or the final answer was wrong
         final_pred = sc_pred if used else tage_pred
         if final_pred != taken or abs(total) < 4 * self.threshold:
-            direction = 1 if taken else -1
-            bias_index = self._bias_index(pc, tage_pred)
-            value = self.bias[bias_index] + direction
-            self.bias[bias_index] = max(self.COUNTER_MIN,
-                                        min(self.COUNTER_MAX, value))
-            for table, index in zip(self.tables, self._indices(pc)):
-                value = table[index] + direction
-                table[index] = max(self.COUNTER_MIN,
-                                   min(self.COUNTER_MAX, value))
+            if pc == self._ctx_pc:
+                indices = self._ctx_indices
+            else:
+                indices = self._indices(pc)
+            step = self._inc if taken else self._dec
+            low = self.COUNTER_MIN
+            bias = self.bias
+            bias_index = ((pc << 1) | (1 if tage_pred else 0)) \
+                & self._bias_mask
+            bias[bias_index] = step[bias[bias_index] - low]
+            tables = self.tables
+            for position in range(len(tables)):
+                table = tables[position]
+                index = indices[position]
+                table[index] = step[table[index] - low]
         self._push_history(taken)
+        self._ctx_pc = -1
 
     def _push_history(self, taken: bool) -> None:
-        # HistoryBuffer/FoldedHistory maintenance inlined (as in
-        # TagePredictor._push_history): one attribute walk per fold instead
-        # of a dozen small-method calls per branch.
+        # HistoryBuffer maintenance inlined; the fold registers live in
+        # flat parallel lists so this is pure local-list indexing
         new_bit = 1 if taken else 0
         history = self._history
         buffer = history._buffer
@@ -104,11 +141,17 @@ class StatisticalCorrector:
             head = 0
         history._head = head
         buffer[head] = new_bit
-        for length, fold in zip(self.history_lengths, self._folds):
-            old_bit = buffer[(head - length) % size]
-            comp = ((fold.comp << 1) | new_bit) ^ (old_bit << fold._out_shift)
-            comp ^= comp >> fold.compressed_length
-            fold.comp = comp & fold._mask
+        comps = self._fold_comps
+        shifts = self._fold_shifts
+        comp_len = self.table_size_log2
+        comp_mask = self._mask
+        lengths = self.history_lengths
+        for position in range(len(comps)):
+            old_bit = buffer[(head - lengths[position]) % size]
+            comp = ((comps[position] << 1) | new_bit) \
+                ^ (old_bit << shifts[position])
+            comp ^= comp >> comp_len
+            comps[position] = comp & comp_mask
 
     def storage_bits(self) -> int:
         counters = sum(len(table) for table in self.tables) + len(self.bias)

@@ -68,6 +68,24 @@ class TageSCL(BranchPredictor):
         self.tage.update(pc, taken)
         self._ctx_pc = -1
 
+    def observe(self, pc: int, taken: bool) -> bool:
+        """Fused predict+update: the prediction context stays in locals."""
+        tage = self.tage
+        corrector = self.corrector
+        tage_pred = tage.predict(pc)
+        loop_valid, loop_pred = self.loop.predict(pc)
+        base_pred = loop_pred if loop_valid else tage_pred
+        total = corrector.compute_sum(pc, base_pred)
+        if corrector.should_override(total, base_pred):
+            pred = total >= 0
+        else:
+            pred = base_pred
+        corrector.update(pc, taken, base_pred, total)
+        self.loop.update(pc, taken)
+        tage.update(pc, taken)
+        self._ctx_pc = -1  # any stale predict() context is now invalid
+        return pred
+
     def storage_bits(self) -> int:
         return (self.tage.storage_bits() + self.loop.storage_bits()
                 + self.corrector.storage_bits())

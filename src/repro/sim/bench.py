@@ -1,19 +1,25 @@
 """Perf-tracking bench harness (``repro bench``).
 
-Times the experiment matrix twice over the same cells:
+Times the experiment matrix over the same cells:
 
 1. **baseline** — serial, every cache bypassed: each cell emulates its
    region from scratch, exactly what the harness cost before the fast-path
    work;
 2. **optimized** — the production path: shared committed-trace cache plus
-   the ``REPRO_JOBS`` parallel runner.
+   the ``REPRO_JOBS`` parallel runner;
+3. **mpki_replay** — the predictor-only subset of the matrix rerun through
+   the MPKI-only replay path (``outputs="mpki"``), timed against the same
+   cells' baseline wall time.
 
 Because trace-cache replays are bit-identical to live emulation and the
-parallel merge is deterministic, both passes must produce byte-equal result
-payloads (host wall-clock timings excluded) — the harness hashes every cell
-and **fails on drift**, making it a correctness gate as well as a perf
-report.  The report is written as ``BENCH_run.json`` (schema
-``repro-bench-v1``) so CI can archive a history of simulator throughput.
+parallel merge is deterministic, passes 1 and 2 must produce byte-equal
+result payloads (host wall-clock timings excluded) — the harness hashes
+every cell and **fails on drift**, making it a correctness gate as well as
+a perf report.  The replay pass reports no cycles by construction, so its
+gate is exact MPKI equality against the baseline documents.  The report is
+written as ``BENCH_run.json`` (schema ``repro-bench-v2``) so CI can archive
+a history of simulator throughput; :func:`compare_to_baseline` diffs a
+fresh report against a committed one (``BENCH_seed.json``) warn-only.
 
 Numbers reported per pass: end-to-end wall seconds, committed uops/sec
 (region length x cells / wall), aggregated per-phase host seconds from the
@@ -31,7 +37,11 @@ from repro.sim import experiments
 from repro.sim.simulator import simulate
 from repro.workloads import suite
 
-SCHEMA = "repro-bench-v1"
+SCHEMA = "repro-bench-v2"
+
+#: ``compare_to_baseline``: relative uops/sec regression that triggers a
+#: warning.  Warn-only — shared CI runners are too noisy for a hard gate.
+BASELINE_WARN_FRACTION = 0.25
 
 #: Default matrices.  ``quick`` is sized for a CI smoke run.
 DEFAULT_VARIANTS = ["tage64", "mtage", "core_only", "mini", "big"]
@@ -78,13 +88,25 @@ def _pass_report(wall: float, payloads: List[dict], uops: int) -> dict:
     }
 
 
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Worker-count precedence: explicit argument > ``REPRO_JOBS`` > 1.
+
+    ``--quick`` runs go through exactly the same resolution — an explicit
+    ``--jobs``/``REPRO_JOBS=1`` always forces serial, never silently
+    widened by the smoke matrix.
+    """
+    if jobs is not None:
+        return max(1, jobs)
+    return experiments.default_jobs()
+
+
 def run_bench(benchmarks: Optional[List[str]] = None,
               variants: Optional[List[str]] = None,
               instructions: Optional[int] = None,
               warmup: Optional[int] = None,
               jobs: Optional[int] = None,
               quick: bool = False) -> dict:
-    """Run the two-pass bench and return the ``repro-bench-v1`` report.
+    """Run the three-pass bench and return the ``repro-bench-v2`` report.
 
     ``quick`` selects the CI smoke matrix; explicit arguments override it.
     The returned report's ``drift.ok`` is the pass/fail bit.
@@ -98,7 +120,7 @@ def run_bench(benchmarks: Optional[List[str]] = None,
     variants = list(variants or DEFAULT_VARIANTS)
     instructions = instructions or experiments.REGION_INSTRUCTIONS
     warmup = warmup if warmup is not None else experiments.REGION_WARMUP
-    jobs = jobs if jobs is not None else experiments.default_jobs()
+    jobs = resolve_jobs(jobs)
 
     cells: List[Tuple[str, str]] = [(benchmark, variant)
                                     for benchmark in benchmarks
@@ -108,14 +130,18 @@ def run_bench(benchmarks: Optional[List[str]] = None,
 
     # -- pass 1: baseline (serial, no caches) ------------------------------
     # simulate() is called directly so neither the result cache nor the
-    # trace cache can shave work off the measurement.
+    # trace cache can shave work off the measurement.  Per-cell walls are
+    # kept so the MPKI-replay pass can price its subset of the matrix.
     baseline_payloads: List[dict] = []
+    cell_walls: List[float] = []
     start = time.perf_counter()
     for benchmark, variant in cells:
+        cell_start = time.perf_counter()
         program = suite.load(benchmark)
         result = simulate(program, instructions=instructions, warmup=warmup,
                           **experiments.variant_kwargs(variant))
         baseline_payloads.append(result.to_dict())
+        cell_walls.append(time.perf_counter() - cell_start)
     baseline_wall = time.perf_counter() - start
 
     # -- pass 2: optimized (trace cache + parallel runner) -----------------
@@ -128,6 +154,37 @@ def run_bench(benchmarks: Optional[List[str]] = None,
     optimized_payloads = [row["payload"] for row in rows]
     trace_hits = sum(1 for row in rows if row["trace_cache_hit"])
 
+    # -- pass 3: MPKI-only replay over the predictor-only subset -----------
+    mpki_indexes = [index for index, (_, variant) in enumerate(cells)
+                    if experiments.is_predictor_only(variant)]
+    mpki_report = None
+    mpki_mismatched: List[str] = []
+    if mpki_indexes:
+        mpki_cells = [cells[index] for index in mpki_indexes]
+        experiments.clear_caches()
+        start = time.perf_counter()
+        mpki_rows = experiments.run_cells(mpki_cells,
+                                          instructions=instructions,
+                                          warmup=warmup, jobs=jobs,
+                                          cache=False, outputs="mpki")
+        mpki_wall = time.perf_counter() - start
+        # the replay payload carries no timing fields, so the drift gate
+        # is exact MPKI equality against the full-timing baseline document
+        for index, row in zip(mpki_indexes, mpki_rows):
+            if row["payload"]["mpki"] != baseline_payloads[index]["mpki"]:
+                benchmark, variant = cells[index]
+                mpki_mismatched.append(f"{benchmark}/{variant}")
+        mpki_baseline_wall = sum(cell_walls[index]
+                                 for index in mpki_indexes)
+        mpki_speedup = (mpki_baseline_wall / mpki_wall
+                        if mpki_wall > 0 else None)
+        mpki_report = {
+            "cells": len(mpki_cells),
+            "wall_seconds": round(mpki_wall, 6),
+            "baseline_wall_seconds": round(mpki_baseline_wall, 6),
+            "speedup": round(mpki_speedup, 3) if mpki_speedup else None,
+        }
+
     # -- drift gate --------------------------------------------------------
     digests: Dict[str, str] = {}
     mismatched: List[str] = []
@@ -138,6 +195,7 @@ def run_bench(benchmarks: Optional[List[str]] = None,
         digests[name] = base_digest
         if payload_digest(opt) != base_digest:
             mismatched.append(name)
+    mismatched.extend(f"{name} (mpki)" for name in mpki_mismatched)
 
     speedup = baseline_wall / optimized_wall if optimized_wall > 0 else None
     return {
@@ -156,7 +214,10 @@ def run_bench(benchmarks: Optional[List[str]] = None,
             **_pass_report(optimized_wall, optimized_payloads, total_uops),
             "trace_cache_hits": trace_hits,
             "trace_cache_misses": len(cells) - trace_hits,
+            "trace_cache_hit_rate": round(trace_hits / len(cells), 4)
+            if cells else None,
         },
+        "mpki_replay": mpki_report,
         "speedup": round(speedup, 3) if speedup else None,
         "drift": {"ok": not mismatched, "mismatched_cells": mismatched},
         "digests": digests,
@@ -167,11 +228,15 @@ def format_report(report: dict) -> str:
     """Human-readable summary of a bench report."""
     baseline = report["baseline"]
     optimized = report["optimized"]
+    hit_rate = optimized.get("trace_cache_hit_rate")
+    hit_rate_text = f"{100 * hit_rate:.0f}%" if hit_rate is not None \
+        else "n/a"
     lines = [
         f"bench: {report['cells']} cells "
         f"({len(report['benchmarks'])} benchmarks x "
         f"{len(report['variants'])} variants), "
-        f"{report['uops_per_cell']} uops/cell, jobs={report['jobs']}",
+        f"{report['uops_per_cell']} uops/cell, jobs={report['jobs']}, "
+        f"trace-cache hit rate {hit_rate_text}",
         f"  baseline : {baseline['wall_seconds']:.3f}s "
         f"({baseline['uops_per_second']:,} uops/s)",
         f"  optimized: {optimized['wall_seconds']:.3f}s "
@@ -180,6 +245,13 @@ def format_report(report: dict) -> str:
         f"/{report['cells']}",
         f"  speedup  : {report['speedup']:.2f}x",
     ]
+    replay = report.get("mpki_replay")
+    if replay:
+        lines.append(
+            f"  mpki-only: {replay['wall_seconds']:.3f}s for "
+            f"{replay['cells']} predictor-only cell(s) "
+            f"(vs {replay['baseline_wall_seconds']:.3f}s full-timing, "
+            f"{replay['speedup']:.2f}x)")
     drift = report["drift"]
     if drift["ok"]:
         lines.append("  drift    : none (all cell digests match)")
@@ -188,3 +260,37 @@ def format_report(report: dict) -> str:
                      f"{len(drift['mismatched_cells'])} cell(s): "
                      + ", ".join(drift["mismatched_cells"]))
     return "\n".join(lines)
+
+
+def compare_to_baseline(report: dict, baseline_report: dict) -> List[str]:
+    """Warn-only throughput diff against a committed report.
+
+    Returns human-readable warnings for every pass whose uops/sec fell more
+    than ``BASELINE_WARN_FRACTION`` below the committed report's number.
+    Never raises on shape differences — a baseline from an older schema
+    simply contributes no warnings for the missing passes.
+    """
+    warnings: List[str] = []
+    for pass_name in ("baseline", "optimized"):
+        current = report.get(pass_name, {}).get("uops_per_second")
+        committed = baseline_report.get(pass_name, {}).get(
+            "uops_per_second")
+        if not current or not committed:
+            continue
+        ratio = current / committed
+        if ratio < 1.0 - BASELINE_WARN_FRACTION:
+            warnings.append(
+                f"{pass_name} throughput {current:,} uops/s is "
+                f"{100 * (1 - ratio):.0f}% below the committed baseline "
+                f"{committed:,} uops/s")
+    current_speedup = (report.get("mpki_replay") or {}).get("speedup")
+    committed_speedup = (baseline_report.get("mpki_replay") or {}).get(
+        "speedup")
+    if current_speedup and committed_speedup:
+        ratio = current_speedup / committed_speedup
+        if ratio < 1.0 - BASELINE_WARN_FRACTION:
+            warnings.append(
+                f"mpki_replay speedup {current_speedup:.2f}x is "
+                f"{100 * (1 - ratio):.0f}% below the committed baseline "
+                f"{committed_speedup:.2f}x")
+    return warnings

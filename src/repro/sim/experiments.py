@@ -28,9 +28,11 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 from repro.core import config as br_config
 from repro.predictors.mtage import mtage_sc
 from repro.predictors.tage_scl import tage_scl_64kb, tage_scl_80kb
+from repro.sim.predictor_replay import replay_mpki
 from repro.sim.results import SimulationResult
 from repro.sim.simulator import simulate
 from repro.sim.trace_cache import TraceCache
+from repro.telemetry import StatRegistry
 from repro.workloads import suite
 
 #: Region length knobs (instructions measured / warmed up per benchmark).
@@ -87,6 +89,18 @@ CONFIG_FACTORIES = {
     "mini": br_config.mini,
     "big": br_config.big,
 }
+
+#: Named variants with no Branch Runahead attachment: their MPKI is a pure
+#: function of the committed branch stream, so ``outputs="mpki"`` cells may
+#: take the predictor-only replay fast path.
+PREDICTOR_ONLY_VARIANTS = frozenset({"tage64", "tage80", "mtage"})
+
+
+def is_predictor_only(variant: str) -> bool:
+    """True when the variant attaches nothing beyond a baseline predictor."""
+    if variant.startswith("spec:"):
+        return variant.endswith("+none")
+    return variant in PREDICTOR_ONLY_VARIANTS
 
 
 def spec_variant(predictor: str, config: Optional[str] = None) -> str:
@@ -149,7 +163,8 @@ def run(benchmark: str, variant: str,
         warmup: Optional[int] = None,
         br_overrides: Optional[dict] = None,
         cache: bool = True,
-        trace_cache: Optional[TraceCache] = None) -> SimulationResult:
+        trace_cache: Optional[TraceCache] = None,
+        outputs: str = "full") -> SimulationResult:
     """Run (or fetch from cache) one benchmark under one variant.
 
     ``br_overrides`` tweaks the variant's BranchRunaheadConfig (used by the
@@ -158,12 +173,26 @@ def run(benchmark: str, variant: str,
     store — so the bench harness's timed runs do real work and don't keep
     whole result graphs alive.  ``trace_cache`` defaults to the
     process-wide shared instance.
+
+    ``outputs="mpki"`` declares that only branch-outcome statistics are
+    wanted: predictor-only cells then take the
+    :func:`~repro.sim.predictor_replay.replay_mpki` fast path (tight
+    predict/update loop over the cached branch stream — bit-identical MPKI,
+    no timing model) and return a
+    :class:`~repro.sim.predictor_replay.PredictorReplayResult`.  Cells
+    whose variant attaches Branch Runahead fall back to the full simulator
+    — their mispredict counts depend on DCE timing.
     """
+    if outputs not in ("full", "mpki"):
+        raise ValueError(f"unknown outputs mode {outputs!r}")
     instructions = instructions or REGION_INSTRUCTIONS
     warmup = warmup if warmup is not None else REGION_WARMUP
+    mpki_only = outputs == "mpki" and is_predictor_only(variant) \
+        and not br_overrides
     override_key = tuple(sorted(br_overrides.items())) if br_overrides \
         else ()
-    key = (benchmark, variant, instructions, warmup, override_key)
+    key = (benchmark, variant, instructions, warmup, override_key,
+           "mpki" if mpki_only else "full")
     if cache:
         cached = _cache_get(key)
         if cached is not None:
@@ -180,10 +209,14 @@ def run(benchmark: str, variant: str,
                 raise AttributeError(f"unknown BR config field {attr!r}")
             setattr(config, attr, value)
     program = suite.load(benchmark)
-    result = simulate(program, instructions=instructions, warmup=warmup,
-                      trace_cache=(trace_cache if trace_cache is not None
-                                   else _trace_cache),
-                      **kwargs)
+    region_cache = trace_cache if trace_cache is not None else _trace_cache
+    if mpki_only:
+        result = replay_mpki(program, kwargs["predictor"],
+                             instructions=instructions, warmup=warmup,
+                             trace_cache=region_cache)
+    else:
+        result = simulate(program, instructions=instructions, warmup=warmup,
+                          trace_cache=region_cache, **kwargs)
     if cache:
         _cache_put(key, result)
     return result
@@ -209,17 +242,37 @@ def _run_cell(task: Tuple) -> dict:
     pickle it.  Each worker process owns forked copies of the module-level
     caches; chunking cells benchmark-major means a worker replays its
     benchmark's trace for every variant after the first.
+
+    ``registry_state`` carries the cell's full stat registry in the
+    kind-aware :meth:`~repro.telemetry.StatRegistry.to_state` form, so the
+    parent can :meth:`~repro.telemetry.StatRegistry.merge` registries from
+    all workers (see :func:`merged_registry`).
     """
-    benchmark, variant, instructions, warmup, use_result_cache = task
+    benchmark, variant, instructions, warmup, use_result_cache, outputs = \
+        task
     hits_before = _trace_cache.hits
     result = run(benchmark, variant, instructions=instructions,
-                 warmup=warmup, cache=use_result_cache)
+                 warmup=warmup, cache=use_result_cache, outputs=outputs)
     return {
         "benchmark": benchmark,
         "variant": variant,
         "payload": result.to_dict(),
+        "registry_state": result.build_registry().to_state(),
         "trace_cache_hit": _trace_cache.hits > hits_before,
     }
+
+
+def merged_registry(rows: Iterable[dict]) -> StatRegistry:
+    """Fold every cell's registry into one (counters add, gauges newest).
+
+    This is the multi-region aggregation path ``StatRegistry.merge`` was
+    built for: cross-cell event totals (mispredicts, cache hits, DCE uops)
+    come out summed, histograms concatenated.
+    """
+    merged = StatRegistry()
+    for row in rows:
+        merged.merge(StatRegistry.from_state(row["registry_state"]))
+    return merged
 
 
 def run_cells(cells: Sequence[Tuple[str, str]],
@@ -227,21 +280,24 @@ def run_cells(cells: Sequence[Tuple[str, str]],
               warmup: Optional[int] = None,
               jobs: Optional[int] = None,
               cache: bool = True,
-              chunksize: Optional[int] = None) -> List[dict]:
+              chunksize: Optional[int] = None,
+              outputs: str = "full") -> List[dict]:
     """Run many ``(benchmark, variant)`` cells, optionally in parallel.
 
     Returns one dict per cell — ``{"benchmark", "variant", "payload",
-    "trace_cache_hit"}`` with ``payload = SimulationResult.to_dict()`` — in
-    the *input* order regardless of worker scheduling, so output is
-    deterministic for any job count.  ``jobs`` defaults to ``REPRO_JOBS``
-    (serial when unset); pass cells benchmark-major and ``chunksize`` equal
-    to the variant count so each worker keeps per-benchmark trace-cache
-    locality.
+    "registry_state", "trace_cache_hit"}`` with ``payload =
+    SimulationResult.to_dict()`` — in the *input* order regardless of
+    worker scheduling, so output is deterministic for any job count.
+    ``jobs`` defaults to ``REPRO_JOBS`` (serial when unset); pass cells
+    benchmark-major and ``chunksize`` equal to the variant count so each
+    worker keeps per-benchmark trace-cache locality.  ``outputs="mpki"``
+    routes predictor-only cells through the MPKI replay fast path (see
+    :func:`run`).
     """
     instructions = instructions or REGION_INSTRUCTIONS
     warmup = warmup if warmup is not None else REGION_WARMUP
     jobs = jobs if jobs is not None else default_jobs()
-    tasks = [(benchmark, variant, instructions, warmup, cache)
+    tasks = [(benchmark, variant, instructions, warmup, cache, outputs)
              for benchmark, variant in cells]
     if jobs <= 1 or len(tasks) <= 1:
         return [_run_cell(task) for task in tasks]
@@ -265,7 +321,9 @@ def run_matrix(variants: Optional[Iterable[str]] = None,
                instructions: Optional[int] = None,
                warmup: Optional[int] = None,
                jobs: Optional[int] = None,
-               cache: bool = True) -> Dict[str, Dict[str, dict]]:
+               cache: bool = True,
+               outputs: str = "full",
+               merged: bool = False):
     """Run a full variant × benchmark matrix; returns nested payload dicts.
 
     ``result[benchmark][variant]`` is the cell's
@@ -273,6 +331,12 @@ def run_matrix(variants: Optional[Iterable[str]] = None,
     laid out benchmark-major and chunked one benchmark per worker dispatch,
     so a worker emulates each of its benchmarks once and replays the trace
     for the remaining variants.
+
+    ``outputs="mpki"`` runs predictor-only variants through the MPKI
+    replay fast path.  ``merged=True`` additionally returns the
+    cross-cell :func:`merged_registry`, i.e. ``(matrix, registry)`` —
+    one unified :class:`~repro.telemetry.StatRegistry` even when the
+    cells ran in parallel worker processes.
     """
     variant_list = list(variants) if variants is not None else list(VARIANTS)
     benchmark_list = (list(benchmarks) if benchmarks is not None
@@ -282,11 +346,14 @@ def run_matrix(variants: Optional[Iterable[str]] = None,
              for variant in variant_list]
     rows = run_cells(cells, instructions=instructions, warmup=warmup,
                      jobs=jobs, cache=cache,
-                     chunksize=max(1, len(variant_list)))
+                     chunksize=max(1, len(variant_list)),
+                     outputs=outputs)
     matrix: Dict[str, Dict[str, dict]] = {name: {}
                                           for name in benchmark_list}
     for row in rows:
         matrix[row["benchmark"]][row["variant"]] = row["payload"]
+    if merged:
+        return matrix, merged_registry(rows)
     return matrix
 
 

@@ -1,0 +1,232 @@
+"""MPKI-only predictor replay: the sweep fast path.
+
+A large slice of the experiment matrix — predictor sweeps, MTAGE-SC
+comparisons, per-branch MPKI breakdowns — needs only branch *outcomes*,
+never cycles.  For those cells the full timing model (CoreModel + memory
+hierarchy) is pure overhead: the committed branch stream is a function of
+the program alone, so once the trace cache holds a region, MPKI for any
+baseline predictor is just predict/update over that stream in a tight
+loop.
+
+:func:`replay_mpki` is that loop.  It reproduces ``CoreModel.run``'s
+measurement semantics exactly — warmup instructions train but are not
+counted, stats reset at the warmup boundary, a stream that ends at or
+before the boundary reports the whole run with ``warmup_truncated`` set —
+so its MPKI, mispredict counts, and per-PC breakdowns are bit-identical
+to a full-timing run of the same cell (``tests/test_predictor_replay.py``
+pins this).  It is only valid for *predictor-only* cells: with Branch
+Runahead attached the final prediction depends on DCE timing, which this
+path does not model, so :mod:`repro.sim.experiments` falls back to the
+full simulator for those.
+
+Branch events are extracted once per region and cached on the
+:class:`~repro.sim.trace_cache.TraceEntry` itself, so a sweep of N
+predictors over one region pays one functional emulation plus one
+extraction, then N tight loops.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from collections import Counter, deque
+from typing import List, Optional, Tuple
+
+from repro.emulator.machine import Machine
+from repro.isa.program import Program
+from repro.isa.uop import KIND_COND_BRANCH
+from repro.predictors.base import BranchPredictor
+from repro.sim.trace_cache import TraceCache
+from repro.telemetry import StatRegistry, Telemetry
+from repro.uarch.stats import CoreStats
+
+#: ``(region_index, pc, taken)`` per committed conditional branch.
+BranchEvent = Tuple[int, int, bool]
+
+
+def branch_events(program: Program, start: int, total: int,
+                  trace_cache: Optional[TraceCache] = None
+                  ) -> Tuple[List[BranchEvent], int]:
+    """The region's committed branch stream plus its record count.
+
+    With a trace cache the region is recorded on first use (functional
+    emulation only — no timing model) and the extracted events are memoized
+    on the cache entry; without one a throwaway emulation feeds a one-shot
+    extraction.
+    """
+    if trace_cache is None:
+        machine = Machine(program)
+        if start:
+            machine.fast_forward(start)
+        events: List[BranchEvent] = []
+        count = 0
+        for index, record in enumerate(machine.stream(total)):
+            count += 1
+            if record.uop.kind == KIND_COND_BRANCH:
+                events.append((index, record.pc, record.taken))
+        return events, count
+
+    entry = trace_cache.lookup(program, start, total)
+    if entry is None:
+        machine = Machine(program)
+        if start:
+            machine.fast_forward(start)
+        # drain at C speed: nothing consumes the records here, the
+        # recording generator stores them as its side effect
+        deque(trace_cache.record(machine, start, total,
+                                 machine.stream(total)), maxlen=0)
+        entry = trace_cache.lookup(program, start, total, count=False)
+    if entry.branch_events is None:
+        entry.branch_events = [(index, record.pc, record.taken)
+                               for index, record in enumerate(entry.records)
+                               if record.uop.kind == KIND_COND_BRANCH]
+    return entry.branch_events, len(entry.records)
+
+
+class PredictorReplayResult:
+    """Result of an MPKI-only cell: branch stats, no cycles.
+
+    Duck-types the slice of :class:`~repro.sim.results.SimulationResult`
+    the experiment runner and CLI consume (``mpki``, ``core``,
+    ``build_registry``, ``to_dict``); timing-dependent fields are absent
+    by construction — ``ipc`` exports as None and the payload carries
+    ``"mpki_only": true`` so downstream consumers cannot mistake it for a
+    full-timing document.
+    """
+
+    mpki_only = True
+    runahead = None
+
+    def __init__(self, program_name: str, predictor: BranchPredictor,
+                 core: CoreStats, trace_cache: Optional[TraceCache] = None,
+                 telemetry: Optional[Telemetry] = None):
+        self.program_name = program_name
+        self.predictor = predictor
+        self.core = core
+        self.trace_cache = trace_cache
+        self.telemetry = telemetry
+        self._registry: Optional[StatRegistry] = None
+
+    @property
+    def mpki(self) -> float:
+        return self.core.mpki
+
+    @property
+    def ipc(self) -> None:
+        return None  # no timing model ran; never report a fake 0.0
+
+    def summary(self) -> str:
+        core = self.core
+        return (f"{self.program_name}: {core.instructions} instrs "
+                f"(mpki-only), MPKI={core.mpki:.2f}, "
+                f"branch acc={core.branch_accuracy() * 100:.2f}%")
+
+    def build_registry(self) -> StatRegistry:
+        """Branch-prediction stats only; no memsys/cycle namespaces.
+
+        Registering the full ``CoreStats`` would publish cycles/IPC/loads
+        as zeros, which reads as data; instead only the counters this path
+        actually computed appear.
+        """
+        if self._registry is not None:
+            return self._registry
+        registry = self.telemetry.registry if self.telemetry \
+            else StatRegistry()
+        self._registry = registry
+        core = self.core
+        scope = registry.scope("core")
+        scope.counter("instructions").set(core.instructions)
+        scope.gauge("mpki").set(core.mpki)
+        scope.gauge("warmup_truncated").set(int(core.warmup_truncated))
+        fetch = scope.scope("fetch")
+        fetch.counter("cond_branches").set(core.cond_branches)
+        fetch.counter("mispredicts").set(core.mispredicts)
+        fetch.counter("taken_branches").set(core.taken_branches)
+        fetch.counter("baseline_mispredicts").set(core.baseline_mispredicts)
+        fetch.gauge("branch_accuracy").set(core.branch_accuracy())
+        branches = scope.scope("branches")
+        branches.gauge("static_cond").set(len(core.branch_counts))
+        misp_histogram = branches.histogram("mispredicts_per_pc")
+        for pc in sorted(core.branch_mispredicts):
+            misp_histogram.record(core.branch_mispredicts[pc])
+        predictor_scope = registry.scope("predictor")
+        predictor_scope.counter("lookups").set(core.cond_branches)
+        predictor_scope.counter("mispredicts").set(core.baseline_mispredicts)
+        accuracy = 1.0
+        if core.cond_branches:
+            accuracy = 1.0 - core.baseline_mispredicts / core.cond_branches
+        predictor_scope.gauge("accuracy").set(accuracy)
+        predictor_scope.gauge("storage_bits").set(
+            self.predictor.storage_bits())
+        predictor_scope.gauge("storage_kb").set(self.predictor.storage_kb())
+        if self.telemetry is not None:
+            self.telemetry.timers.register_into(
+                registry.scope("host").scope("phase"))
+        if self.trace_cache is not None:
+            self.trace_cache.register_into(
+                registry.scope("host").scope("trace_cache"))
+        return registry
+
+    def to_dict(self) -> dict:
+        return {
+            "benchmark": self.program_name,
+            "predictor": getattr(self.predictor, "name", None),
+            "branch_runahead": False,
+            "mpki_only": True,
+            "ipc": None,
+            "mpki": self.mpki,
+            "stats": self.build_registry().to_dict(),
+        }
+
+
+def replay_mpki(program: Program, predictor: BranchPredictor,
+                instructions: int, warmup: int = 0,
+                start_instruction: int = 0,
+                trace_cache: Optional[TraceCache] = None,
+                telemetry: Optional[Telemetry] = None
+                ) -> PredictorReplayResult:
+    """Run one predictor-only cell over the cached committed branch stream.
+
+    Measurement semantics mirror ``CoreModel.run`` record for record:
+
+    * records ``[0, warmup)`` train the predictor but count nothing;
+    * the stats "reset" at the record whose region index equals ``warmup``
+      (here: counting simply starts there);
+    * a region of at most ``warmup`` records never crosses the boundary,
+      so the whole run is reported and ``warmup_truncated`` is set —
+      exactly the short-stream rule of the timing model.
+    """
+    if telemetry is None:
+        telemetry = Telemetry()
+    total = instructions + warmup
+    with telemetry.timers.phase("setup"):
+        events, record_count = branch_events(program, start_instruction,
+                                             total, trace_cache)
+    stats = CoreStats()
+    warmed = warmup > 0 and record_count > warmup
+    boundary = warmup if warmed else 0
+    observe = predictor.observe
+    with telemetry.timers.phase("mpki_replay"):
+        # events are region-index-ordered, so the warmup boundary is one
+        # bisect and the hot loops carry no per-event boundary test
+        split = bisect_left(events, (boundary, -1, False))
+        for _, pc, taken in events[:split]:
+            observe(pc, taken)  # warmup: train only
+        measured = events[split:]
+        mispredicted_pcs: List[int] = []
+        record_mispredict = mispredicted_pcs.append
+        for _, pc, taken in measured:
+            if observe(pc, taken) != taken:
+                record_mispredict(pc)
+    stats.cond_branches = len(measured)
+    stats.taken_branches = sum(taken for _, _, taken in measured)
+    stats.mispredicts = len(mispredicted_pcs)
+    # no prediction queue can override on this path, so the final and
+    # baseline mispredict counts coincide (as in the fused CoreModel path)
+    stats.baseline_mispredicts = stats.mispredicts
+    stats.branch_counts.update(Counter(pc for _, pc, _ in measured))
+    stats.branch_mispredicts.update(Counter(mispredicted_pcs))
+    stats.instructions = record_count - boundary
+    stats.warmup_truncated = warmup > 0 and not warmed
+    return PredictorReplayResult(program.name, predictor, stats,
+                                 trace_cache=trace_cache,
+                                 telemetry=telemetry)

@@ -40,13 +40,14 @@ class SimulationResult:
 
     def __init__(self, program_name: str, core: CoreStats, hierarchy=None,
                  predictor=None, runahead=None,
-                 telemetry: Optional[Telemetry] = None):
+                 telemetry: Optional[Telemetry] = None, trace_cache=None):
         self.program_name = program_name
         self.core = core
         self.hierarchy = hierarchy
         self.predictor = predictor
         self.runahead = runahead
         self.telemetry = telemetry
+        self.trace_cache = trace_cache
         self._registry: Optional[StatRegistry] = None
 
     @property
@@ -110,6 +111,11 @@ class SimulationResult:
                 trace_scope = registry.scope("host").scope("trace")
                 trace_scope.counter("events_emitted").set(tracer.emitted)
                 trace_scope.counter("events_dropped").set(tracer.dropped)
+        if self.trace_cache is not None:
+            # host-side (cache state differs run to run, so it lives under
+            # host.* which the bench drift digest strips)
+            self.trace_cache.register_into(
+                registry.scope("host").scope("trace_cache"))
         return registry
 
     def to_dict(self) -> dict:

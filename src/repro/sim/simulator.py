@@ -104,7 +104,10 @@ def simulate(program: Program,
         # region replays from its entry state
         stream_source = trace_cache.record(machine, start_instruction,
                                            total, stream_source)
-    stream = timers.wrap_iter("emulation", stream_source)
+    # with no runahead attached nothing reads machine state mid-stream, so
+    # the emulation timer may drive the producer in C-level chunks
+    stream = timers.wrap_iter("emulation", stream_source,
+                              buffer=0 if runahead is not None else 64)
     with timers.phase("timing"):
         core_stats = core.run(stream, warmup=warmup,
                               initial_regs=machine.regs if start_instruction
@@ -121,4 +124,5 @@ def simulate(program: Program,
         predictor=predictor,
         runahead=runahead,
         telemetry=telemetry,
+        trace_cache=trace_cache,
     )

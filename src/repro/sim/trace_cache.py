@@ -24,11 +24,25 @@ The cache is LRU-bounded (``REPRO_TRACE_CACHE`` entries, default 32) and
 keyed by program *identity*: entries hold a strong reference to their
 program, which both keeps ``id(program)`` valid and means a rebuilt Program
 object (whose uops were re-placed) can never alias a stale entry.
+
+**Disk persistence.**  With ``REPRO_TRACE_CACHE_DIR`` set (or ``disk_dir``
+passed), entries additionally spill to disk so spawn-start multiprocessing
+workers and repeat CLI invocations start warm.  Identity keys do not
+survive a process boundary, so on-disk entries are keyed by a *content*
+fingerprint: the sha256 over the program's name, every static uop's
+architectural fields, and the initial memory image (memoized per Program
+object).  Each file carries a magic/version header and a payload digest;
+a truncated, corrupted, or version-mismatched file is a clean miss (the
+offender is deleted best-effort), never a crash.  Writes go through a
+same-directory temp file and ``os.replace`` so concurrent workers spilling
+the same region can never expose a half-written entry.
 """
 
 from __future__ import annotations
 
+import hashlib
 import os
+import pickle
 from collections import OrderedDict
 from typing import Iterator, List, Optional, Tuple
 
@@ -43,13 +57,44 @@ from repro.isa.registers import CC
 #: unset.  A full benchmark suite sweep touches one region per benchmark.
 DEFAULT_CAPACITY = 32
 
+#: On-disk format version; bumped whenever the payload layout changes.
+#: The version participates in both the filename and the header, so old
+#: files are simply never found (and would be rejected if renamed).
+FORMAT_VERSION = 1
+
+_MAGIC = b"RPTC"
+_HEADER_LEN = len(_MAGIC) + 2 + 32  # magic + u16 version + payload sha256
+
+
+def program_fingerprint(program: Program) -> str:
+    """Content sha256 of a program, memoized on the Program object.
+
+    Covers the name, every uop's architectural fields, and the initial
+    memory image — everything that determines the committed stream of a
+    region.  Two separately built but identical programs (e.g. the same
+    benchmark rebuilt in another process) fingerprint equal.
+    """
+    cached = getattr(program, "_content_fingerprint", None)
+    if cached is not None:
+        return cached
+    digest = hashlib.sha256()
+    digest.update(program.name.encode())
+    for op in program.uops:
+        digest.update(repr((op.opcode, op.dst, op.srcs, op.imm, op.base,
+                            op.index, op.scale, op.disp, op.cond,
+                            op.target)).encode())
+    digest.update(repr(sorted(program.initial_memory.items())).encode())
+    fingerprint = digest.hexdigest()
+    program._content_fingerprint = fingerprint
+    return fingerprint
+
 
 class TraceEntry:
     """One recorded region: its records plus enough state to replay them."""
 
     __slots__ = ("program", "start", "total", "records", "pre_memory",
                  "start_regs", "start_pc", "start_seq",
-                 "final_pc", "final_seq", "halted")
+                 "final_pc", "final_seq", "halted", "branch_events")
 
     def __init__(self, program: Program, start: int, total: int,
                  records: List[DynamicUop], pre_memory: Memory,
@@ -66,6 +111,10 @@ class TraceEntry:
         self.final_pc = final_pc
         self.final_seq = final_seq
         self.halted = halted
+        #: Lazily extracted ``(region_index, pc, taken)`` tuples for the
+        #: conditional branches of the region (the MPKI-only replay path's
+        #: working set); None until :mod:`repro.sim.predictor_replay` asks.
+        self.branch_events = None
 
 
 class ReplayMachine:
@@ -140,18 +189,27 @@ class TraceCache:
     parent's warm entries for free).
     """
 
-    def __init__(self, capacity: Optional[int] = None):
+    def __init__(self, capacity: Optional[int] = None,
+                 disk_dir: Optional[str] = None):
         if capacity is None:
             capacity = int(os.environ.get("REPRO_TRACE_CACHE",
                                           DEFAULT_CAPACITY))
         if capacity < 1:
             raise ValueError("trace cache capacity must be positive")
+        if disk_dir is None:
+            disk_dir = os.environ.get("REPRO_TRACE_CACHE_DIR") or None
         self.capacity = capacity
+        self.disk_dir = disk_dir
         self._entries: "OrderedDict[Tuple[int, int, int], TraceEntry]" = \
             OrderedDict()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.disk_hits = 0
+        self.disk_misses = 0
+        self.spills = 0
+        self.spill_errors = 0
+        self.corrupt_entries = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -159,14 +217,38 @@ class TraceCache:
     def replay(self, program: Program, start: int,
                total: int) -> Optional[ReplayMachine]:
         """Return a replay machine for the region, or None on a miss."""
+        entry = self.lookup(program, start, total)
+        return ReplayMachine(entry) if entry is not None else None
+
+    def lookup(self, program: Program, start: int, total: int,
+               count: bool = True) -> Optional[TraceEntry]:
+        """Raw entry lookup (memory, then disk) without a ReplayMachine.
+
+        The MPKI-only replay path reads ``entry.records`` directly — it
+        needs no memory replica.  ``count=False`` suppresses the hit/miss
+        counters for internal re-lookups right after a record, so cache
+        effectiveness numbers keep meaning "work avoided".
+        """
         key = (id(program), start, total)
         entry = self._entries.get(key)
         if entry is None or entry.program is not program:
-            self.misses += 1
+            if self.disk_dir is not None:
+                entry = self._load_from_disk(program, start, total)
+                if entry is not None:
+                    if count:
+                        self.disk_hits += 1
+                        self.hits += 1
+                    self._store(entry, spill=False)
+                    return entry
+                if count:
+                    self.disk_misses += 1
+            if count:
+                self.misses += 1
             return None
         self._entries.move_to_end(key)
-        self.hits += 1
-        return ReplayMachine(entry)
+        if count:
+            self.hits += 1
+        return entry
 
     def record(self, machine: Machine, start: int, total: int,
                source: Iterator[DynamicUop]) -> Iterator[DynamicUop]:
@@ -195,7 +277,7 @@ class TraceCache:
 
         return recording()
 
-    def _store(self, entry: TraceEntry) -> None:
+    def _store(self, entry: TraceEntry, spill: bool = True) -> None:
         key = (id(entry.program), entry.start, entry.total)
         entries = self._entries
         if key in entries:
@@ -204,10 +286,111 @@ class TraceCache:
         while len(entries) > self.capacity:
             entries.popitem(last=False)
             self.evictions += 1
+        if spill and self.disk_dir is not None:
+            self._spill_to_disk(entry)
+
+    # -- disk persistence -------------------------------------------------
+
+    def _disk_path(self, program: Program, start: int, total: int) -> str:
+        key = (f"{program_fingerprint(program)}:{start}:{total}"
+               f":v{FORMAT_VERSION}")
+        name = hashlib.sha256(key.encode()).hexdigest()
+        return os.path.join(self.disk_dir, f"{name}.trace")
+
+    def _spill_to_disk(self, entry: TraceEntry) -> None:
+        """Serialize an entry; failures only count, never propagate."""
+        try:
+            path = self._disk_path(entry.program, entry.start, entry.total)
+            if os.path.exists(path):
+                return  # another worker (or a prior run) already spilled it
+            payload = pickle.dumps({
+                "fingerprint": program_fingerprint(entry.program),
+                "start": entry.start,
+                "total": entry.total,
+                "records": [(r.pc, r.seq, r.next_pc, r.taken, r.addr,
+                             r.value, r.dst_value) for r in entry.records],
+                "pre_memory": dict(entry.pre_memory._words),
+                "start_regs": list(entry.start_regs),
+                "start_pc": entry.start_pc,
+                "start_seq": entry.start_seq,
+                "final_pc": entry.final_pc,
+                "final_seq": entry.final_seq,
+                "halted": entry.halted,
+            }, protocol=pickle.HIGHEST_PROTOCOL)
+            header = (_MAGIC + FORMAT_VERSION.to_bytes(2, "little")
+                      + hashlib.sha256(payload).digest())
+            os.makedirs(self.disk_dir, exist_ok=True)
+            temp_path = f"{path}.tmp.{os.getpid()}"
+            with open(temp_path, "wb") as handle:
+                handle.write(header)
+                handle.write(payload)
+            os.replace(temp_path, path)  # atomic: readers never see partials
+            self.spills += 1
+        except OSError:
+            self.spill_errors += 1
+
+    def _load_from_disk(self, program: Program, start: int,
+                        total: int) -> Optional[TraceEntry]:
+        """Deserialize an entry; any damage is a clean miss, not a crash."""
+        path = self._disk_path(program, start, total)
+        try:
+            with open(path, "rb") as handle:
+                blob = handle.read()
+        except OSError:
+            return None
+        try:
+            if len(blob) < _HEADER_LEN or not blob.startswith(_MAGIC):
+                raise ValueError("bad magic or truncated header")
+            version = int.from_bytes(blob[4:6], "little")
+            if version != FORMAT_VERSION:
+                raise ValueError(f"format version {version}")
+            payload = blob[_HEADER_LEN:]
+            if hashlib.sha256(payload).digest() != blob[6:_HEADER_LEN]:
+                raise ValueError("payload digest mismatch")
+            data = pickle.loads(payload)
+            if (data["fingerprint"] != program_fingerprint(program)
+                    or data["start"] != start or data["total"] != total):
+                raise ValueError("key mismatch")
+            uops = program.uops
+            records = [DynamicUop(uops[pc], seq, next_pc, taken, addr,
+                                  value, dst_value)
+                       for pc, seq, next_pc, taken, addr, value, dst_value
+                       in data["records"]]
+            pre_memory = Memory()
+            pre_memory._words = dict(data["pre_memory"])
+            return TraceEntry(program, start, total, records, pre_memory,
+                              list(data["start_regs"]), data["start_pc"],
+                              data["start_seq"], data["final_pc"],
+                              data["final_seq"], data["halted"])
+        except Exception:
+            # truncated/garbage/stale file: drop it so the next run respills
+            self.corrupt_entries += 1
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+            return None
 
     def clear(self) -> None:
         self._entries.clear()
 
     def stats(self) -> dict:
         return {"entries": len(self._entries), "hits": self.hits,
-                "misses": self.misses, "evictions": self.evictions}
+                "misses": self.misses, "evictions": self.evictions,
+                "disk_hits": self.disk_hits,
+                "disk_misses": self.disk_misses,
+                "spills": self.spills, "spill_errors": self.spill_errors,
+                "corrupt_entries": self.corrupt_entries}
+
+    def register_into(self, scope) -> None:
+        """Publish cache effectiveness counters (``host.trace_cache.*``)."""
+        scope.counter("hits").set(self.hits)
+        scope.counter("misses").set(self.misses)
+        scope.counter("evictions").set(self.evictions)
+        scope.gauge("entries").set(len(self._entries))
+        if self.disk_dir is not None:
+            scope.counter("disk_hits").set(self.disk_hits)
+            scope.counter("disk_misses").set(self.disk_misses)
+            scope.counter("spills").set(self.spills)
+            scope.counter("spill_errors").set(self.spill_errors)
+            scope.counter("corrupt_entries").set(self.corrupt_entries)

@@ -235,6 +235,40 @@ class StatRegistry:
     def to_json(self, indent: Optional[int] = 2) -> str:
         return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
 
+    # -- state transfer -----------------------------------------------------------
+
+    def to_state(self) -> Dict[str, List]:
+        """Kind-aware flat serialization: ``{name: [kind, payload]}``.
+
+        Unlike :meth:`to_flat_dict` (which exports histograms as summary
+        statistics), this round-trips losslessly through JSON/pickle so a
+        worker process can ship its registry to the parent for
+        :meth:`merge` — the basis of the parallel runner's merged-registry
+        aggregation.
+        """
+        state: Dict[str, List] = {}
+        for name, stat in self._stats.items():
+            if isinstance(stat, Histogram):
+                state[name] = [stat.kind, list(stat.values)]
+            else:
+                state[name] = [stat.kind, stat.value]
+        return state
+
+    @classmethod
+    def from_state(cls, state: Dict[str, List]) -> "StatRegistry":
+        """Rebuild a registry serialized by :meth:`to_state`."""
+        registry = cls()
+        for name, (kind, payload) in state.items():
+            if kind == "counter":
+                registry.counter(name).set(payload)
+            elif kind == "gauge":
+                registry.gauge(name).set(payload)
+            elif kind == "histogram":
+                registry.histogram(name).record_many(payload)
+            else:
+                raise ValueError(f"unknown stat kind {kind!r} for {name!r}")
+        return registry
+
     # -- merging ------------------------------------------------------------------
 
     def merge(self, other: "StatRegistry") -> "StatRegistry":

@@ -549,22 +549,36 @@ class CoreModel:
         if taken:
             stats.taken_branches += 1
         predictor = self.predictor
-        if predictor is not None:
-            tage_pred = predictor.predict(pc)
+        if self._on_retire is None:
+            # default no-op hooks: fetch_prediction would return
+            # (tage_pred, "tage"), so fuse predict+update and skip the call
+            if predictor is not None:
+                tage_pred = predictor.observe(pc, taken)
+            else:
+                tage_pred = taken  # perfect baseline when absent
+            source = "tage"
+            mispredicted = tage_pred != taken
+            if mispredicted:
+                stats.baseline_mispredicts += 1
+                stats.mispredicts += 1
+                stats.branch_mispredicts[pc] += 1
         else:
-            tage_pred = taken  # perfect baseline when absent
-        final_pred, source = self._runahead.fetch_prediction(
-            pc, fetch_cycle, tage_pred)
-        if source == "dce":
-            stats.dce_predictions_used += 1
-        mispredicted = final_pred != taken
-        if tage_pred != taken:
-            stats.baseline_mispredicts += 1
-        if predictor is not None:
-            predictor.update(pc, taken)
-        if mispredicted:
-            stats.mispredicts += 1
-            stats.branch_mispredicts[pc] += 1
+            if predictor is not None:
+                tage_pred = predictor.predict(pc)
+            else:
+                tage_pred = taken  # perfect baseline when absent
+            final_pred, source = self._runahead.fetch_prediction(
+                pc, fetch_cycle, tage_pred)
+            if source == "dce":
+                stats.dce_predictions_used += 1
+            mispredicted = final_pred != taken
+            if tage_pred != taken:
+                stats.baseline_mispredicts += 1
+            if predictor is not None:
+                predictor.update(pc, taken)
+            if mispredicted:
+                stats.mispredicts += 1
+                stats.branch_mispredicts[pc] += 1
 
         # ---- dispatch / issue --------------------------------------------
         dispatch = fetch_cycle + cfg.frontend_depth
@@ -598,10 +612,11 @@ class CoreModel:
             if resume > self._next_fetch_cycle:
                 self._next_fetch_cycle = resume
                 self._fetch_slots_used = 0
-        budget = min(cfg.wpb_max_distance,
-                     max(8, (complete - fetch_cycle) * cfg.fetch_width))
-        self._runahead.on_branch_resolved(
-            record, complete, mispredicted, self.retired_regs, budget)
+        if self._on_retire is not None:
+            budget = min(cfg.wpb_max_distance,
+                         max(8, (complete - fetch_cycle) * cfg.fetch_width))
+            self._runahead.on_branch_resolved(
+                record, complete, mispredicted, self.retired_regs, budget)
         if taken and not mispredicted:
             # a predicted-taken branch ends the fetch group
             if self._next_fetch_cycle < fetch_cycle + 1:

@@ -94,3 +94,49 @@ class TestCompare:
         # the helpers _cmd_compare now delegates to must stay total
         assert mpki_improvement(0.0, 5.0) == 0.0
         assert ipc_improvement(0.0, 1.0) == 0.0
+
+
+class TestCompareMpkiOnly:
+    def test_table_drops_ipc_columns(self, capsys):
+        code = cli_main(["compare", "sjeng_06", "--mpki-only",
+                         "--instructions", "1000", "--warmup", "500"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ΔMPKI" in out
+        assert "IPC" not in out
+
+    def test_json_rows_have_no_ipc(self, capsys):
+        code = cli_main(["compare", "sjeng_06", "--mpki-only", "--json",
+                         "--instructions", "1000", "--warmup", "500"])
+        assert code == 0
+        row = json.loads(capsys.readouterr().out.strip())
+        assert "ipc" not in row["baseline"]
+        assert "ipc_improvement_pct" not in row
+        assert row["baseline"]["mpki"] > 0
+
+
+class TestBenchBaselineFlag:
+    def test_warn_only_against_committed_report(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_run.json"
+        code = cli_main(["bench", "--quick", "--benchmarks", "sjeng_06",
+                         "--instructions", "800", "--warmup", "400",
+                         "--jobs", "1", "--out", str(out)])
+        assert code == 0
+        capsys.readouterr()
+        second = tmp_path / "BENCH_second.json"
+        code = cli_main(["bench", "--quick", "--benchmarks", "sjeng_06",
+                         "--instructions", "800", "--warmup", "400",
+                         "--jobs", "1", "--out", str(second),
+                         "--baseline", str(out)])
+        assert code == 0  # warn-only: never fails the run
+        captured = capsys.readouterr()
+        assert "trace-cache hit rate" in captured.out
+
+    def test_unreadable_baseline_is_a_warning(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_run.json"
+        code = cli_main(["bench", "--quick", "--benchmarks", "sjeng_06",
+                         "--instructions", "800", "--warmup", "400",
+                         "--jobs", "1", "--out", str(out),
+                         "--baseline", str(tmp_path / "missing.json")])
+        assert code == 0
+        assert "cannot read baseline" in capsys.readouterr().err

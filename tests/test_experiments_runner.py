@@ -151,3 +151,60 @@ class TestBenchHarness:
         assert "speedup" in text and "drift" in text
         report["drift"] = {"ok": False, "mismatched_cells": ["x/y"]}
         assert "MISMATCH" in bench.format_report(report)
+
+
+class TestBenchV2:
+    def test_mpki_replay_pass_reported(self):
+        report = bench.run_bench(benchmarks=["sjeng_06"],
+                                 variants=["tage64", "mini"], jobs=1,
+                                 **REGION)
+        replay = report["mpki_replay"]
+        assert replay["cells"] == 1  # only tage64 is predictor-only
+        assert replay["wall_seconds"] > 0
+        assert replay["speedup"] > 0
+        assert report["drift"]["ok"]  # includes the exact-MPKI gate
+        assert "mpki-only" in bench.format_report(report)
+
+    def test_no_predictor_only_cells_skips_replay_pass(self):
+        report = bench.run_bench(benchmarks=["sjeng_06"],
+                                 variants=["mini"], jobs=1, **REGION)
+        assert report["mpki_replay"] is None
+        assert "mpki-only" not in bench.format_report(report)
+
+    def test_hit_rate_on_summary_line(self):
+        report = bench.run_bench(benchmarks=["sjeng_06"],
+                                 variants=["tage64", "mini"], jobs=1,
+                                 **REGION)
+        assert report["optimized"]["trace_cache_hit_rate"] == 0.5
+        first_line = bench.format_report(report).splitlines()[0]
+        assert "trace-cache hit rate 50%" in first_line
+
+    def test_resolve_jobs_precedence(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "4")
+        assert bench.resolve_jobs(None) == 4
+        assert bench.resolve_jobs(2) == 2  # explicit beats the env var
+        monkeypatch.setenv("REPRO_JOBS", "1")
+        assert bench.resolve_jobs(None) == 1
+        monkeypatch.delenv("REPRO_JOBS")
+        assert bench.resolve_jobs(None) == 1
+
+    def test_quick_honours_repro_jobs_serial(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "1")
+        report = bench.run_bench(quick=True, benchmarks=["sjeng_06"],
+                                 instructions=800, warmup=400)
+        assert report["jobs"] == 1
+
+    def test_compare_to_baseline_warns_on_regression(self):
+        report = bench.run_bench(benchmarks=["sjeng_06"],
+                                 variants=["tage64"], jobs=1, **REGION)
+        assert bench.compare_to_baseline(report, report) == []
+        inflated = json.loads(json.dumps(report))
+        inflated["baseline"]["uops_per_second"] *= 10
+        warnings = bench.compare_to_baseline(report, inflated)
+        assert len(warnings) == 1
+        assert "below the committed baseline" in warnings[0]
+
+    def test_compare_to_baseline_tolerates_old_schema(self):
+        report = bench.run_bench(benchmarks=["sjeng_06"],
+                                 variants=["tage64"], jobs=1, **REGION)
+        assert bench.compare_to_baseline(report, {"schema": "v0"}) == []
