@@ -26,20 +26,23 @@ Quickstart::
     print(baseline.mpki, "->", runahead.mpki)
 """
 
+from repro.config import RunConfig, resolve_config
 from repro.core.config import BranchRunaheadConfig, big, core_only, mini
 from repro.core.runahead import BranchRunahead
 from repro.isa.program import Program, ProgramBuilder
 from repro.predictors.mtage import mtage_sc
 from repro.predictors.tage_scl import TageSCL, tage_scl_64kb, tage_scl_80kb
+from repro.session import Session, default_session
 from repro.sim.results import SimulationResult
 from repro.sim.simulator import simulate
 from repro.telemetry import StatRegistry, Telemetry, Tracer
-from repro.workloads.suite import BENCHMARK_NAMES
 from repro.workloads.suite import load as load_benchmark
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "RunConfig",
+    "resolve_config",
     "BranchRunaheadConfig",
     "big",
     "core_only",
@@ -51,6 +54,8 @@ __all__ = [
     "TageSCL",
     "tage_scl_64kb",
     "tage_scl_80kb",
+    "Session",
+    "default_session",
     "SimulationResult",
     "simulate",
     "StatRegistry",
@@ -60,3 +65,11 @@ __all__ = [
     "load_benchmark",
     "__version__",
 ]
+
+
+def __getattr__(name: str):
+    # live view: benchmarks registered after import are included
+    if name == "BENCHMARK_NAMES":
+        from repro.workloads import suite
+        return suite.BENCHMARK_NAMES
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -2,7 +2,10 @@
 
 Commands
 --------
-* ``list`` — the benchmark suite.
+* ``list`` — discover registered components (benchmarks, predictors,
+  BR configs, variants); stable-sorted output.
+* ``config`` — print the fully-resolved effective configuration with
+  per-field provenance (default / file / env / flag).
 * ``run BENCH`` — simulate one benchmark under a configuration.
 * ``compare BENCH [BENCH...]`` — baseline vs Branch Runahead table
   (``--jobs`` runs cells through the parallel experiment runner).
@@ -12,6 +15,13 @@ Commands
 * ``trace BENCH`` — capture a pipeline event trace (Chrome/JSONL).
 * ``chains BENCH`` — show the dependence chains extracted for a benchmark.
 * ``simpoints BENCH`` — SimPoint-style region selection for a benchmark.
+
+Every command resolves its knobs through :mod:`repro.config` with layered
+precedence — built-in defaults < config file (``--config-file`` /
+``REPRO_CONFIG``) < ``REPRO_*`` env vars < explicit flags — and all
+component choices (``--predictor``, ``--config``, ``--variants``,
+benchmark names) come from the live registries, so a component registered
+by a plug-in module is immediately addressable.
 
 ``run`` and ``compare`` accept ``--json`` for machine-readable output.
 """
@@ -23,37 +33,67 @@ import json
 import sys
 from typing import List, Optional
 
-from repro.core import config as br_config
+from repro.config import RunConfig, ResolvedConfig, resolve_config
+from repro.core.config import UARCH_CONFIGS
+from repro.predictors.registry import PREDICTORS
 from repro.sim import bench, experiments
 from repro.sim.results import ipc_improvement, mpki_improvement
 from repro.sim.sampling import select_simpoints
 from repro.sim.simulator import simulate
+from repro.sim.variants import variant_names
 from repro.telemetry import Tracer
 from repro.workloads import suite
 
-CONFIGS = {"none": None, **experiments.CONFIG_FACTORIES}
+LIST_KINDS = ("benchmarks", "predictors", "configs", "variants", "all")
 
-PREDICTORS = experiments.PREDICTOR_FACTORIES
+
+def _config_choices() -> List[str]:
+    return ["none"] + UARCH_CONFIGS.names(sort=True)
 
 
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Branch Runahead (MICRO 2021) reproduction")
+    parser.add_argument("--config-file", default=None, metavar="PATH",
+                        help="TOML/JSON config file (overrides the "
+                        "REPRO_CONFIG env var)")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list", help="list the benchmark suite")
+    list_cmd = sub.add_parser(
+        "list", help="list registered components (stable-sorted)")
+    list_cmd.add_argument("--kind", choices=LIST_KINDS,
+                          default="benchmarks",
+                          help="component family to list "
+                          "(default: benchmarks)")
+
+    config_cmd = sub.add_parser(
+        "config", help="print the resolved effective configuration")
+    config_cmd.add_argument("--instructions", type=int, default=None)
+    config_cmd.add_argument("--warmup", type=int, default=None)
+    config_cmd.add_argument("--jobs", type=int, default=None)
+    config_cmd.add_argument("--result-cache-size", type=int, default=None)
+    config_cmd.add_argument("--trace-cache-size", type=int, default=None)
+    config_cmd.add_argument("--trace-cache-dir", default=None)
+    config_cmd.add_argument("--variant", default=None)
+    config_cmd.add_argument("--json", action="store_true",
+                            help="emit config + provenance as JSON")
 
     def add_run_args(p):
-        p.add_argument("benchmark", choices=sorted(
-            suite.BENCHMARK_NAMES + ["stress_many"]))
-        p.add_argument("--instructions", type=int, default=12_000)
-        p.add_argument("--warmup", type=int, default=6_000)
+        p.add_argument("benchmark", choices=sorted(suite.all_names()))
+        p.add_argument("--instructions", type=int, default=None,
+                       help="measured region length "
+                       "(default: resolved config)")
+        p.add_argument("--warmup", type=int, default=None,
+                       help="training-only prefix "
+                       "(default: resolved config)")
 
     run = sub.add_parser("run", help="simulate one benchmark")
     add_run_args(run)
-    run.add_argument("--config", choices=sorted(CONFIGS), default="mini")
-    run.add_argument("--predictor", choices=sorted(PREDICTORS),
+    run.add_argument("--config", choices=_config_choices(), default=None,
+                     help="BR configuration (default: resolved config "
+                     "'variant' field)")
+    run.add_argument("--predictor", choices=PREDICTORS.names(sort=True),
                      default="tage64")
     run.add_argument("--json", action="store_true",
                      help="emit the full stat registry as JSON")
@@ -62,16 +102,18 @@ def _build_parser() -> argparse.ArgumentParser:
         "compare", help="baseline vs Branch Runahead table")
     compare.add_argument("benchmarks", nargs="*",
                          default=None, metavar="BENCH")
-    compare.add_argument("--config", choices=["core-only", "mini", "big"],
-                         default="mini")
-    compare.add_argument("--predictor", choices=sorted(PREDICTORS),
+    compare.add_argument("--config", choices=UARCH_CONFIGS.names(sort=True),
+                         default=None,
+                         help="BR configuration (default: resolved config "
+                         "'variant' field)")
+    compare.add_argument("--predictor", choices=PREDICTORS.names(sort=True),
                          default="tage64",
                          help="baseline predictor for both sides")
-    compare.add_argument("--instructions", type=int, default=12_000)
-    compare.add_argument("--warmup", type=int, default=6_000)
+    compare.add_argument("--instructions", type=int, default=None)
+    compare.add_argument("--warmup", type=int, default=None)
     compare.add_argument("--jobs", type=int, default=None,
                          help="parallel worker processes "
-                         "(default: REPRO_JOBS, serial when unset)")
+                         "(default: resolved config, serial when unset)")
     compare.add_argument("--mpki-only", action="store_true",
                          help="request branch outcomes only: baseline "
                          "cells take the MPKI replay fast path and no "
@@ -87,13 +129,13 @@ def _build_parser() -> argparse.ArgumentParser:
                            metavar="BENCH",
                            help="benchmarks to time (default: full suite)")
     bench_cmd.add_argument("--variants", nargs="*", default=None,
-                           choices=sorted(experiments.VARIANTS),
+                           choices=sorted(variant_names()),
                            help="variants to time")
     bench_cmd.add_argument("--instructions", type=int, default=None)
     bench_cmd.add_argument("--warmup", type=int, default=None)
     bench_cmd.add_argument("--jobs", type=int, default=None,
                            help="parallel worker processes "
-                           "(default: REPRO_JOBS, serial when unset)")
+                           "(default: resolved config, serial when unset)")
     bench_cmd.add_argument("--out", default="BENCH_run.json",
                            help="report path (default: BENCH_run.json)")
     bench_cmd.add_argument("--baseline", default=None, metavar="PATH",
@@ -103,8 +145,8 @@ def _build_parser() -> argparse.ArgumentParser:
     stats = sub.add_parser(
         "stats", help="dump the unified stat registry as JSON")
     add_run_args(stats)
-    stats.add_argument("--config", choices=sorted(CONFIGS), default="mini")
-    stats.add_argument("--predictor", choices=sorted(PREDICTORS),
+    stats.add_argument("--config", choices=_config_choices(), default=None)
+    stats.add_argument("--predictor", choices=PREDICTORS.names(sort=True),
                        default="tage64")
     stats.add_argument("--flat", action="store_true",
                        help="flat dot-separated names instead of a tree")
@@ -112,8 +154,8 @@ def _build_parser() -> argparse.ArgumentParser:
     trace = sub.add_parser(
         "trace", help="capture a pipeline event trace")
     add_run_args(trace)
-    trace.add_argument("--config", choices=sorted(CONFIGS), default="mini")
-    trace.add_argument("--predictor", choices=sorted(PREDICTORS),
+    trace.add_argument("--config", choices=_config_choices(), default=None)
+    trace.add_argument("--predictor", choices=PREDICTORS.names(sort=True),
                        default="tage64")
     trace.add_argument("--out", default="trace.json",
                        help="output path (default: trace.json)")
@@ -129,31 +171,97 @@ def _build_parser() -> argparse.ArgumentParser:
 
     simpoints = sub.add_parser(
         "simpoints", help="SimPoint-style region selection")
-    simpoints.add_argument("benchmark", choices=sorted(
-        suite.BENCHMARK_NAMES + ["stress_many"]))
+    simpoints.add_argument("benchmark", choices=sorted(suite.all_names()))
     simpoints.add_argument("--total", type=int, default=60_000)
     simpoints.add_argument("--interval", type=int, default=10_000)
 
     return parser
 
 
+def _resolve_from_args(args) -> ResolvedConfig:
+    """Layered resolution with every flag this command carries."""
+    flag_fields = ("instructions", "warmup", "jobs", "result_cache_size",
+                   "trace_cache_size", "trace_cache_dir", "variant")
+    flags = {field: getattr(args, field, None) for field in flag_fields}
+    return resolve_config(flags=flags,
+                          config_file=getattr(args, "config_file", None))
+
+
+def _br_config_name(args, run_config: RunConfig,
+                    allow_none: bool) -> Optional[str]:
+    """The BR config for run/compare/stats/trace: flag, else cfg.variant."""
+    name = args.config if args.config is not None else run_config.variant
+    if allow_none and name == "none":
+        return None
+    UARCH_CONFIGS.entry(name)  # raises with suggestions if unknown
+    return name
+
+
 def _simulate_from_args(args, tracer: Optional[Tracer] = None):
     """Shared ``run``/``stats``/``trace`` driver."""
+    run_config = _resolve_from_args(args).config
     program = suite.load(args.benchmark)
-    config_factory = CONFIGS[args.config]
+    config_name = _br_config_name(args, run_config, allow_none=True)
     return simulate(
-        program, instructions=args.instructions, warmup=args.warmup,
-        predictor=PREDICTORS[args.predictor](),
-        br_config=config_factory() if config_factory else None,
+        program, instructions=run_config.instructions,
+        warmup=run_config.warmup,
+        predictor=PREDICTORS.get(args.predictor)(),
+        br_config=UARCH_CONFIGS.get(config_name)() if config_name else None,
         tracer=tracer)
 
 
 def _cmd_list(args) -> int:
-    print(f"{'name':14s} {'suite':8s} {'static uops':>12s}")
-    for benchmark in suite.BENCHMARKS:
-        program = suite.load(benchmark.name)
-        print(f"{benchmark.name:14s} {benchmark.suite:8s} "
-              f"{len(program):>12d}")
+    kinds = LIST_KINDS[:-1] if args.kind == "all" else (args.kind,)
+    for index, kind in enumerate(kinds):
+        if index:
+            print()
+        if len(kinds) > 1:
+            print(f"[{kind}]")
+        if kind == "benchmarks":
+            print(f"{'name':14s} {'suite':8s} {'static uops':>12s}")
+            for name in sorted(suite.all_names()):
+                benchmark = suite.get(name)
+                program = suite.load(name)
+                print(f"{benchmark.name:14s} {benchmark.suite:8s} "
+                      f"{len(program):>12d}")
+        elif kind == "predictors":
+            print(f"{'name':14s} {'mpki-replay':>11s}  description")
+            for name in PREDICTORS.names(sort=True):
+                meta = PREDICTORS.meta(name)
+                replay = "yes" if meta.get("predictor_only") else "no"
+                print(f"{name:14s} {replay:>11s}  "
+                      f"{meta.get('description', '')}")
+        elif kind == "configs":
+            print(f"{'name':14s} {'storage':>10s}")
+            for name in UARCH_CONFIGS.names(sort=True):
+                storage = UARCH_CONFIGS.meta(name).get("storage", "?")
+                print(f"{name:14s} {storage:>10s}")
+        elif kind == "variants":
+            print(f"{'name':20s} {'mpki-replay':>11s}")
+            for name in sorted(variant_names()):
+                replay = "yes" if experiments.is_predictor_only(name) \
+                    else "no"
+                print(f"{name:20s} {replay:>11s}")
+    return 0
+
+
+def _cmd_config(args) -> int:
+    resolved = _resolve_from_args(args)
+    if args.json:
+        print(json.dumps({
+            "config": resolved.config.to_dict(),
+            "provenance": resolved.provenance,
+            "config_file": resolved.config_file,
+        }, indent=2, sort_keys=True))
+        return 0
+    source = resolved.config_file or "(none)"
+    print(f"effective configuration  [config file: {source}]")
+    print(f"  {'field':20s} {'value':>16s}  source")
+    for field in RunConfig.field_names():
+        value = getattr(resolved.config, field)
+        shown = "-" if value is None else str(value)
+        print(f"  {field:20s} {shown:>16s}  {resolved.provenance[field]}")
+    print("\nprecedence: default < config file < REPRO_* env < flag")
     return 0
 
 
@@ -172,17 +280,20 @@ def _cmd_run(args) -> int:
 
 
 def _cmd_compare(args) -> int:
+    run_config = _resolve_from_args(args).config
     names = args.benchmarks or suite.BENCHMARK_NAMES
+    config_name = _br_config_name(args, run_config, allow_none=False)
     base_token = experiments.spec_variant(args.predictor)
-    br_token = experiments.spec_variant(args.predictor, args.config)
+    br_token = experiments.spec_variant(args.predictor, config_name)
     # benchmark-major cells through the experiment runner: with --jobs the
     # matrix fans out over worker processes, and either way the shared
     # trace cache emulates each benchmark once for both sides
     cells = [(name, token) for name in names
              for token in (base_token, br_token)]
     outputs = "mpki" if args.mpki_only else "full"
-    rows = experiments.run_cells(cells, instructions=args.instructions,
-                                 warmup=args.warmup, jobs=args.jobs,
+    rows = experiments.run_cells(cells,
+                                 instructions=run_config.instructions,
+                                 warmup=run_config.warmup, jobs=args.jobs,
                                  chunksize=2, outputs=outputs)
     if not args.json:
         header = (f"{'benchmark':14s} {'base MPKI':>10s} {'BR MPKI':>10s} "
@@ -199,7 +310,7 @@ def _cmd_compare(args) -> int:
             row = {
                 "benchmark": name,
                 "predictor": args.predictor,
-                "config": args.config,
+                "config": config_name,
                 "baseline": {"mpki": base["mpki"]},
                 "branch_runahead": {"mpki": variant["mpki"]},
                 "mpki_improvement_pct": mpki_delta,
@@ -289,9 +400,11 @@ def _cmd_trace(args) -> int:
 
 
 def _cmd_chains(args) -> int:
+    from repro.core import config as br_config
+    run_config = _resolve_from_args(args).config
     program = suite.load(args.benchmark)
-    result = simulate(program, instructions=args.instructions,
-                      warmup=args.warmup,
+    result = simulate(program, instructions=run_config.instructions,
+                      warmup=run_config.warmup,
                       br_config=br_config.mini())
     chains = result.runahead.chain_cache.chains()
     if not chains:
@@ -319,6 +432,7 @@ def _cmd_simpoints(args) -> int:
 
 COMMANDS = {
     "list": _cmd_list,
+    "config": _cmd_config,
     "run": _cmd_run,
     "compare": _cmd_compare,
     "bench": _cmd_bench,

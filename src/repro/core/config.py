@@ -8,9 +8,27 @@ Three presets:
   16x256-entry prediction queues, 64-entry HBT, 512-entry CEB.
 * ``big()`` — unlimited: every structure scaled to 1024+ entries to expose
   the technique's ceiling.
+
+The presets are registered in :data:`UARCH_CONFIGS`; new BR sizings added
+with :func:`register_uarch_config` become addressable everywhere a preset
+name is accepted (``spec:`` variant tokens, ``repro run --config``,
+``repro list``).
 """
 
 from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.registry import Registry
+
+#: name -> factory returning a fresh BranchRunaheadConfig.
+UARCH_CONFIGS = Registry("BR config")
+
+
+def register_uarch_config(name: str, **meta: Any) -> Callable[..., Any]:
+    """Decorator registering a Branch Runahead configuration factory."""
+    return UARCH_CONFIGS.register(name, **meta)
+
 
 #: Chain initiation modes (§4.1).
 NON_SPECULATIVE = "non-speculative"
@@ -118,6 +136,7 @@ class BranchRunaheadConfig:
         return (chain_cache + prf + rsv + queues + hbt + ceb) / 1024.0
 
 
+@register_uarch_config("core-only", storage="9KB")
 def core_only(**overrides) -> BranchRunaheadConfig:
     """Core-Only (9KB): window shared with the core."""
     params = dict(
@@ -132,6 +151,7 @@ def core_only(**overrides) -> BranchRunaheadConfig:
     return BranchRunaheadConfig(**params)
 
 
+@register_uarch_config("mini", storage="17KB")
 def mini(**overrides) -> BranchRunaheadConfig:
     """Mini (17KB): the paper's recommended configuration."""
     params = dict(name="mini")
@@ -139,6 +159,7 @@ def mini(**overrides) -> BranchRunaheadConfig:
     return BranchRunaheadConfig(**params)
 
 
+@register_uarch_config("big", storage="unlimited")
 def big(**overrides) -> BranchRunaheadConfig:
     """Big (unlimited): ceiling study."""
     params = dict(

@@ -1,0 +1,54 @@
+"""Predictor component registry.
+
+Replaces the literal ``PREDICTOR_FACTORIES`` dict: every baseline
+predictor the harness can name (CLI ``--predictor``, ``spec:`` variant
+tokens, eponymous predictor-only variants) is an entry here.  Adding a
+predictor to the whole stack — experiment matrix, MPKI replay fast path,
+CLI choices, ``repro list`` — is one decorated definition:
+
+    @register_predictor("mytage", predictor_only=True)
+    def mytage():
+        return MyTagePredictor()
+
+``predictor_only=True`` (the default) declares that a cell running this
+predictor with no Branch Runahead attachment has branch outcomes that are
+a pure function of the committed stream, so ``outputs="mpki"`` cells may
+take the :mod:`repro.sim.predictor_replay` fast path.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.predictors.base import BranchPredictor
+from repro.predictors.mtage import mtage_sc
+from repro.predictors.tage_scl import tage_scl_64kb, tage_scl_80kb
+from repro.registry import Registry
+
+#: name -> zero-argument factory returning a fresh BranchPredictor.
+PREDICTORS = Registry("predictor")
+
+
+def register_predictor(name: str, *, predictor_only: bool = True,
+                       **meta: Any) -> Callable[..., Any]:
+    """Decorator registering a zero-argument predictor factory."""
+    return PREDICTORS.register(name, predictor_only=predictor_only, **meta)
+
+
+def predictor_factory(name: str) -> Callable[[], BranchPredictor]:
+    return PREDICTORS.get(name)
+
+
+def make_predictor(name: str) -> BranchPredictor:
+    """Instantiate a registered predictor by name."""
+    return PREDICTORS.get(name)()
+
+
+# -- built-in registrations (paper baselines) ------------------------------
+
+PREDICTORS.register("tage64", tage_scl_64kb, predictor_only=True,
+                    description="64KB TAGE-SC-L (paper baseline)")
+PREDICTORS.register("tage80", tage_scl_80kb, predictor_only=True,
+                    description="80KB TAGE-SC-L (Figure 10 iso-storage)")
+PREDICTORS.register("mtage", mtage_sc, predictor_only=True,
+                    description="MTAGE-SC (unlimited-storage champion)")

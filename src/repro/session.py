@@ -1,0 +1,389 @@
+"""Session-scoped experiment state (``repro.session``).
+
+A :class:`Session` owns everything that used to be a module global in
+``repro.sim.experiments`` — the bounded result-cache LRU, the shared
+committed-trace cache, the merged stat registry — bound to one frozen
+:class:`~repro.config.RunConfig`.  Two sessions with different configs
+coexist in one process with fully independent caches, which is the
+prerequisite for sharded and multi-backend runners (and for tests that
+need isolation without global resets).
+
+The classic convenience API (``experiments.run`` & friends) is preserved
+by a *default session* that re-resolves its config from the environment
+on every entry call: setting ``REPRO_INSTRUCTIONS`` or
+``REPRO_CACHE_SIZE`` mid-process (monkeypatching tests, spawn-start
+workers) takes effect on the next call instead of being frozen at import.
+Explicit sessions never re-resolve — their config is exactly what they
+were constructed with.
+
+Worker processes: each parallel task pickles the parent's ``RunConfig``;
+the worker resolves it to a session via :func:`_session_for_config`, so a
+spawn-start worker reconstructs the *exact* parent configuration instead
+of re-deriving one from inherited environment variables, while a
+fork-start worker reuses the inherited warm session (trace cache
+included) when the config matches.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.config import RunConfig, current_config, resolve_jobs
+from repro.sim.predictor_replay import replay_mpki
+from repro.sim.results import SimulationResult
+from repro.sim.simulator import simulate
+from repro.sim.trace_cache import TraceCache
+from repro.sim.variants import (
+    is_predictor_only,
+    variant_kwargs,
+    variant_names,
+)
+from repro.telemetry import StatRegistry
+from repro.workloads import suite
+
+
+class Session:
+    """One experiment context: a config plus the caches it governs."""
+
+    def __init__(self, config: Optional[RunConfig] = None,
+                 trace_cache: Optional[TraceCache] = None):
+        if config is None:
+            config = current_config()
+        self.config = config.validate()
+        #: Shared committed-trace cache: one functional emulation per
+        #: benchmark region, replayed by every variant of this session.
+        self.trace_cache = trace_cache if trace_cache is not None else \
+            TraceCache(capacity=config.trace_cache_size,
+                       disk_dir=config.trace_cache_dir)
+        #: Bounded result-cache LRU, keyed by (benchmark, variant,
+        #: region, overrides, outputs-mode).
+        self._results: "OrderedDict[Tuple, SimulationResult]" = \
+            OrderedDict()
+        #: Cross-cell merged stats (counters add, gauges newest); fed by
+        #: ``run_cells(..., merge=True)`` / ``run_matrix(merged=True)``.
+        self.registry = StatRegistry()
+
+    # -- config management -------------------------------------------------
+
+    def reconfigure(self, config: RunConfig) -> None:
+        """Adopt a new config in place, preserving still-valid cache state.
+
+        Cache *contents* stay (results are keyed by their full region
+        parameters, so a region-length change cannot alias); cache
+        *bounds* and the trace-cache spill directory follow the new
+        config, trimming immediately when shrunk.
+        """
+        config.validate()
+        old = self.config
+        self.config = config
+        if config.result_cache_size < old.result_cache_size:
+            while len(self._results) > config.result_cache_size:
+                self._results.popitem(last=False)
+        cache = self.trace_cache
+        if config.trace_cache_size != old.trace_cache_size:
+            cache.capacity = config.trace_cache_size
+            while len(cache._entries) > cache.capacity:
+                cache._entries.popitem(last=False)
+                cache.evictions += 1
+        if config.trace_cache_dir != old.trace_cache_dir:
+            cache.disk_dir = config.trace_cache_dir
+
+    # -- result cache ------------------------------------------------------
+
+    @property
+    def result_cache(self) -> "OrderedDict[Tuple, SimulationResult]":
+        return self._results
+
+    def _cache_get(self, key: Tuple) -> Optional[SimulationResult]:
+        result = self._results.get(key)
+        if result is not None:
+            self._results.move_to_end(key)
+        return result
+
+    def _cache_put(self, key: Tuple, result: SimulationResult) -> None:
+        if key in self._results:
+            self._results.move_to_end(key)
+        self._results[key] = result
+        while len(self._results) > self.config.result_cache_size:
+            self._results.popitem(last=False)
+
+    def clear_caches(self) -> None:
+        """Drop this session's caches (bench harness isolation)."""
+        self._results.clear()
+        self.trace_cache.clear()
+
+    # -- single cells ------------------------------------------------------
+
+    def run(self, benchmark: str, variant: str,
+            instructions: Optional[int] = None,
+            warmup: Optional[int] = None,
+            br_overrides: Optional[dict] = None,
+            cache: bool = True,
+            trace_cache: Optional[TraceCache] = None,
+            outputs: str = "full") -> SimulationResult:
+        """Run (or fetch from cache) one benchmark under one variant.
+
+        ``br_overrides`` tweaks the variant's BranchRunaheadConfig (used
+        by the Figure 13 sweeps); overridden runs are cached under their
+        own key.  ``cache=False`` bypasses the result cache entirely — no
+        lookup, no store.  ``trace_cache`` defaults to the session's
+        shared instance.
+
+        ``outputs="mpki"`` declares that only branch-outcome statistics
+        are wanted: predictor-only cells then take the
+        :func:`~repro.sim.predictor_replay.replay_mpki` fast path
+        (bit-identical MPKI, no timing model) and return a
+        :class:`~repro.sim.predictor_replay.PredictorReplayResult`.
+        Cells whose variant attaches Branch Runahead fall back to the
+        full simulator — their mispredict counts depend on DCE timing.
+        """
+        if outputs not in ("full", "mpki"):
+            raise ValueError(f"unknown outputs mode {outputs!r}")
+        instructions = instructions or self.config.instructions
+        warmup = warmup if warmup is not None else self.config.warmup
+        mpki_only = outputs == "mpki" and is_predictor_only(variant) \
+            and not br_overrides
+        override_key = tuple(sorted(br_overrides.items())) if br_overrides \
+            else ()
+        key = (benchmark, variant, instructions, warmup, override_key,
+               "mpki" if mpki_only else "full")
+        if cache:
+            cached = self._cache_get(key)
+            if cached is not None:
+                return cached
+
+        kwargs = variant_kwargs(variant)
+        if br_overrides:
+            config = kwargs.get("br_config")
+            if config is None:
+                raise ValueError(f"variant {variant!r} has no BR config "
+                                 f"to override")
+            for attr, value in br_overrides.items():
+                if not hasattr(config, attr):
+                    raise AttributeError(
+                        f"unknown BR config field {attr!r}")
+                setattr(config, attr, value)
+        program = suite.load(benchmark)
+        region_cache = trace_cache if trace_cache is not None \
+            else self.trace_cache
+        if mpki_only:
+            result = replay_mpki(program, kwargs["predictor"],
+                                 instructions=instructions, warmup=warmup,
+                                 trace_cache=region_cache)
+        else:
+            result = simulate(program, instructions=instructions,
+                              warmup=warmup, trace_cache=region_cache,
+                              **kwargs)
+        if cache:
+            self._cache_put(key, result)
+        return result
+
+    def run_all(self, variant: str, benchmarks=None, **kwargs):
+        """Run a variant over the benchmark list; returns {name: result}."""
+        names = benchmarks or suite.BENCHMARK_NAMES
+        return {name: self.run(name, variant, **kwargs) for name in names}
+
+    # -- parallel matrix ---------------------------------------------------
+
+    def run_cells(self, cells: Sequence[Tuple[str, str]],
+                  instructions: Optional[int] = None,
+                  warmup: Optional[int] = None,
+                  jobs: Optional[int] = None,
+                  cache: bool = True,
+                  chunksize: Optional[int] = None,
+                  outputs: str = "full",
+                  merge: bool = False) -> List[dict]:
+        """Run many ``(benchmark, variant)`` cells, optionally in parallel.
+
+        Returns one dict per cell — ``{"benchmark", "variant", "payload",
+        "registry_state", "trace_cache_hit"}`` with ``payload =
+        SimulationResult.to_dict()`` — in the *input* order regardless of
+        worker scheduling, so output is deterministic for any job count.
+        ``jobs`` defaults to the session config (explicit argument wins);
+        pass cells benchmark-major and ``chunksize`` equal to the variant
+        count so each worker keeps per-benchmark trace-cache locality.
+        ``merge=True`` additionally folds every cell's registry into
+        :attr:`registry`.
+        """
+        instructions = instructions or self.config.instructions
+        warmup = warmup if warmup is not None else self.config.warmup
+        jobs = max(1, jobs) if jobs is not None else self.config.jobs
+        task_config = self.config.replace(
+            instructions=instructions, warmup=warmup)
+        tasks = [(task_config, benchmark, variant, instructions, warmup,
+                  cache, outputs) for benchmark, variant in cells]
+        if jobs <= 1 or len(tasks) <= 1:
+            rows = [_run_cell_in(self, task) for task in tasks]
+        else:
+            import multiprocessing
+
+            try:
+                context = multiprocessing.get_context("fork")
+            except ValueError:  # platform without fork (e.g. Windows)
+                context = multiprocessing.get_context("spawn")
+            # publish this session so fork workers find it warm (and
+            # spawn workers rebuild an equivalent one from the pickled
+            # task config)
+            _worker_sessions[task_config] = self
+            jobs = min(jobs, len(tasks))
+            if chunksize is None:
+                chunksize = max(1, (len(tasks) + jobs - 1) // jobs)
+            with context.Pool(processes=jobs) as pool:
+                # Pool.map preserves input order: deterministic merge
+                rows = pool.map(_run_cell, tasks, chunksize=chunksize)
+        if merge:
+            self.registry.merge(merged_registry(rows))
+        return rows
+
+    def run_matrix(self, variants: Optional[Iterable[str]] = None,
+                   benchmarks: Optional[Iterable[str]] = None,
+                   instructions: Optional[int] = None,
+                   warmup: Optional[int] = None,
+                   jobs: Optional[int] = None,
+                   cache: bool = True,
+                   outputs: str = "full",
+                   merged: bool = False):
+        """Run a variant × benchmark matrix; returns nested payload dicts.
+
+        ``result[benchmark][variant]`` is the cell's
+        :meth:`~repro.sim.results.SimulationResult.to_dict` payload.
+        Cells are laid out benchmark-major and chunked one benchmark per
+        worker dispatch.  ``merged=True`` additionally returns the
+        cross-cell :func:`merged_registry` as ``(matrix, registry)``.
+        """
+        variant_list = (list(variants) if variants is not None
+                        else variant_names())
+        benchmark_list = (list(benchmarks) if benchmarks is not None
+                          else list(suite.BENCHMARK_NAMES))
+        cells = [(benchmark, variant)
+                 for benchmark in benchmark_list
+                 for variant in variant_list]
+        rows = self.run_cells(cells, instructions=instructions,
+                              warmup=warmup, jobs=jobs, cache=cache,
+                              chunksize=max(1, len(variant_list)),
+                              outputs=outputs)
+        matrix: Dict[str, Dict[str, dict]] = {name: {}
+                                              for name in benchmark_list}
+        for row in rows:
+            matrix[row["benchmark"]][row["variant"]] = row["payload"]
+        if merged:
+            return matrix, merged_registry(rows)
+        return matrix
+
+    def __repr__(self) -> str:
+        return (f"Session(config={self.config!r}, "
+                f"results={len(self._results)}, "
+                f"trace_entries={len(self.trace_cache)})")
+
+
+# -- worker plumbing -------------------------------------------------------
+
+#: Sessions adopted by worker processes, keyed by their (hashable)
+#: RunConfig.  The parent publishes its session here before forking;
+#: spawn-start workers populate it lazily from pickled task configs.
+_worker_sessions: Dict[RunConfig, Session] = {}
+
+
+def _session_for_config(config: RunConfig) -> Session:
+    """Find or build the session a worker should run a task under."""
+    default = _default_session
+    if default is not None and default.config == config:
+        return default
+    session = _worker_sessions.get(config)
+    if session is None:
+        session = Session(config)
+        _worker_sessions[config] = session
+    return session
+
+
+def _run_cell_in(session: Session, task: Tuple) -> dict:
+    """Run one cell inside ``session`` and flatten it to a picklable dict.
+
+    ``registry_state`` carries the cell's full stat registry in the
+    kind-aware :meth:`~repro.telemetry.StatRegistry.to_state` form, so the
+    parent can :meth:`~repro.telemetry.StatRegistry.merge` registries from
+    all workers (see :func:`merged_registry`).
+    """
+    (_, benchmark, variant, instructions, warmup, use_result_cache,
+     outputs) = task
+    trace_cache = session.trace_cache
+    hits_before = trace_cache.hits
+    result = session.run(benchmark, variant, instructions=instructions,
+                         warmup=warmup, cache=use_result_cache,
+                         outputs=outputs)
+    return {
+        "benchmark": benchmark,
+        "variant": variant,
+        "payload": result.to_dict(),
+        "registry_state": result.build_registry().to_state(),
+        "trace_cache_hit": trace_cache.hits > hits_before,
+    }
+
+
+def _run_cell(task: Tuple) -> dict:
+    """Worker entry: module-level so fork *and* spawn pools can pickle it.
+
+    The task's first element is the parent's ``RunConfig``; resolving it
+    through :func:`_session_for_config` gives spawn-start workers the
+    exact parent configuration (satellite of the layered-config work) and
+    fork-start workers their inherited warm session.
+    """
+    return _run_cell_in(_session_for_config(task[0]), task)
+
+
+def merged_registry(rows: Iterable[dict]) -> StatRegistry:
+    """Fold every cell's registry into one (counters add, gauges newest).
+
+    This is the multi-region aggregation path ``StatRegistry.merge`` was
+    built for: cross-cell event totals (mispredicts, cache hits, DCE
+    uops) come out summed, histograms concatenated.
+    """
+    return StatRegistry.from_states(row["registry_state"] for row in rows)
+
+
+# -- default session -------------------------------------------------------
+
+_default_session: Optional[Session] = None
+
+#: The session default_session() created implicitly.  Only *this* session
+#: re-resolves its config from the environment on every call; a session
+#: installed via :func:`set_default_session` keeps the config it was
+#: built with (the caller took explicit control).
+_auto_session: Optional[Session] = None
+
+
+def default_session() -> Session:
+    """The process-wide convenience session.
+
+    Unlike explicit sessions, its config *follows the environment*: each
+    call re-resolves ``REPRO_*`` (and any ``REPRO_CONFIG`` file) and
+    adopts changes in place, so env vars set after import — monkeypatching
+    tests, wrapper scripts — actually take effect.
+    """
+    global _default_session, _auto_session
+    if _default_session is None:
+        _default_session = _auto_session = Session(current_config())
+    elif _default_session is _auto_session:
+        config = current_config()
+        if _default_session.config != config:
+            _default_session.reconfigure(config)
+    return _default_session
+
+
+def set_default_session(session: Optional[Session]) -> Optional[Session]:
+    """Swap the default session (returns the previous one).
+
+    An explicitly installed session pins its own config; the env-following
+    behavior resumes when the default is reset to None or the original
+    auto-created session is restored.
+    """
+    global _default_session
+    previous = _default_session
+    _default_session = session
+    return previous
+
+
+def default_jobs() -> int:
+    """Worker count for implicit-jobs call sites (explicit args win)."""
+    return resolve_jobs(None)

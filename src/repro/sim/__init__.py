@@ -10,7 +10,6 @@ from repro.sim.results import (
     weighted_average,
 )
 from repro.sim.simulator import simulate
-from repro.sim import experiments, sweeps
 
 __all__ = [
     "ComparisonRow",
@@ -23,4 +22,15 @@ __all__ = [
     "simulate",
     "experiments",
     "sweeps",
+    "variants",
 ]
+
+
+def __getattr__(name: str):
+    # experiments (and sweeps, which imports it) sit above repro.session,
+    # which itself imports sim submodules — importing them lazily keeps
+    # the package import acyclic from every entry point
+    if name in ("experiments", "sweeps", "variants", "bench"):
+        import importlib
+        return importlib.import_module(f"repro.sim.{name}")
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -33,6 +33,8 @@ import json
 import time
 from typing import Dict, Iterable, List, Optional, Tuple
 
+from repro import config as repro_config
+from repro.session import Session
 from repro.sim import experiments
 from repro.sim.simulator import simulate
 from repro.workloads import suite
@@ -89,15 +91,17 @@ def _pass_report(wall: float, payloads: List[dict], uops: int) -> dict:
 
 
 def resolve_jobs(jobs: Optional[int] = None) -> int:
-    """Worker-count precedence: explicit argument > ``REPRO_JOBS`` > 1.
+    """Worker-count precedence: explicit argument > config layers > 1.
 
-    ``--quick`` runs go through exactly the same resolution — an explicit
+    Delegates to :func:`repro.config.resolve_jobs`, the single
+    jobs-precedence resolver (flag > env ``REPRO_JOBS`` > config file >
+    serial) — the experiment runner resolves through the same function,
+    so the rule cannot drift between the two call sites.  ``--quick``
+    runs go through exactly the same resolution — an explicit
     ``--jobs``/``REPRO_JOBS=1`` always forces serial, never silently
     widened by the smoke matrix.
     """
-    if jobs is not None:
-        return max(1, jobs)
-    return experiments.default_jobs()
+    return repro_config.resolve_jobs(jobs)
 
 
 def run_bench(benchmarks: Optional[List[str]] = None,
@@ -116,11 +120,14 @@ def run_bench(benchmarks: Optional[List[str]] = None,
         variants = variants or QUICK_VARIANTS
         instructions = instructions or QUICK_INSTRUCTIONS
         warmup = warmup if warmup is not None else QUICK_WARMUP
+    run_config = repro_config.current_config()
     benchmarks = list(benchmarks or suite.BENCHMARK_NAMES)
     variants = list(variants or DEFAULT_VARIANTS)
-    instructions = instructions or experiments.REGION_INSTRUCTIONS
-    warmup = warmup if warmup is not None else experiments.REGION_WARMUP
+    instructions = instructions or run_config.instructions
+    warmup = warmup if warmup is not None else run_config.warmup
     jobs = resolve_jobs(jobs)
+    run_config = run_config.replace(instructions=instructions,
+                                    warmup=warmup, jobs=jobs)
 
     cells: List[Tuple[str, str]] = [(benchmark, variant)
                                     for benchmark in benchmarks
@@ -145,11 +152,14 @@ def run_bench(benchmarks: Optional[List[str]] = None,
     baseline_wall = time.perf_counter() - start
 
     # -- pass 2: optimized (trace cache + parallel runner) -----------------
-    experiments.clear_caches()
+    # a fresh Session per pass is the isolation `clear_caches()` used to
+    # provide, with no global state touched at all
+    optimized_session = Session(run_config)
     start = time.perf_counter()
-    rows = experiments.run_cells(cells, instructions=instructions,
-                                 warmup=warmup, jobs=jobs, cache=False,
-                                 chunksize=max(1, len(variants)))
+    rows = optimized_session.run_cells(cells, instructions=instructions,
+                                       warmup=warmup, jobs=jobs,
+                                       cache=False,
+                                       chunksize=max(1, len(variants)))
     optimized_wall = time.perf_counter() - start
     optimized_payloads = [row["payload"] for row in rows]
     trace_hits = sum(1 for row in rows if row["trace_cache_hit"])
@@ -161,12 +171,12 @@ def run_bench(benchmarks: Optional[List[str]] = None,
     mpki_mismatched: List[str] = []
     if mpki_indexes:
         mpki_cells = [cells[index] for index in mpki_indexes]
-        experiments.clear_caches()
+        mpki_session = Session(run_config)
         start = time.perf_counter()
-        mpki_rows = experiments.run_cells(mpki_cells,
-                                          instructions=instructions,
-                                          warmup=warmup, jobs=jobs,
-                                          cache=False, outputs="mpki")
+        mpki_rows = mpki_session.run_cells(mpki_cells,
+                                           instructions=instructions,
+                                           warmup=warmup, jobs=jobs,
+                                           cache=False, outputs="mpki")
         mpki_wall = time.perf_counter() - start
         # the replay payload carries no timing fields, so the drift gate
         # is exact MPKI equality against the full-timing baseline document

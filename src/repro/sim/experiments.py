@@ -1,278 +1,92 @@
-"""Experiment runner for the benchmark harness.
+"""Experiment runner facade.
 
-Provides the variant matrix the paper's figures are built from, with a
-per-process result cache so several benches in one pytest session reuse
-runs.  Region length is controlled by ``REPRO_INSTRUCTIONS`` /
-``REPRO_WARMUP`` environment variables (defaults keep the full harness in
-the minutes range; the paper used 200M-instruction SimPoints, far beyond a
-pure-Python budget — see DESIGN.md §3).
+The classic module-level API (``run``/``run_cells``/``run_matrix``/…) now
+delegates to the process-wide *default session* (see
+:mod:`repro.session`), which owns the result-cache LRU and the shared
+committed-trace cache and whose :class:`~repro.config.RunConfig` is
+re-resolved from the environment on every call — ``REPRO_INSTRUCTIONS``,
+``REPRO_WARMUP``, ``REPRO_CACHE_SIZE`` and friends are read at
+*resolution time*, never frozen at import.  Code that needs two
+configurations side by side builds explicit
+:class:`~repro.session.Session` objects instead.
 
-Fast-path machinery (this module is the entry point the bench harness and
-CLI drive):
+Variant and component catalogues moved to decorator-based registries:
 
-* a process-wide :class:`~repro.sim.trace_cache.TraceCache` so the matrix
-  emulates each benchmark region once and replays it for every variant;
-* a bounded LRU result cache (``REPRO_CACHE_SIZE`` entries);
-* :func:`run_cells` / :func:`run_matrix` — a ``multiprocessing``-backed
-  parallel runner (``REPRO_JOBS`` workers, default serial) that farms out
-  ``(benchmark, variant)`` cells and merges their pickled
-  ``SimulationResult.to_dict()`` payloads deterministically.
+* predictors — :mod:`repro.predictors.registry` (``@register_predictor``);
+* BR configs — :data:`repro.core.config.UARCH_CONFIGS`
+  (``@register_uarch_config``);
+* named variants — :mod:`repro.sim.variants` (``@register_variant``);
+* benchmarks — :mod:`repro.workloads.registry` (``@register_benchmark``).
+
+The historical views (``VARIANTS``, ``PREDICTOR_FACTORIES``,
+``CONFIG_FACTORIES``, ``PREDICTOR_ONLY_VARIANTS``, ``REGION_*``) remain
+importable as *live* module attributes computed from those registries.
 """
 
 from __future__ import annotations
 
-import os
-from collections import OrderedDict
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Iterable, List, Optional, Sequence, Tuple
 
-from repro.core import config as br_config
-from repro.predictors.mtage import mtage_sc
-from repro.predictors.tage_scl import tage_scl_64kb, tage_scl_80kb
-from repro.sim.predictor_replay import replay_mpki
+from repro import session as _session
+from repro.config import current_config
+from repro.session import (  # noqa: F401  (re-exported API)
+    Session,
+    default_jobs,
+    default_session,
+    merged_registry,
+)
 from repro.sim.results import SimulationResult
-from repro.sim.simulator import simulate
-from repro.sim.trace_cache import TraceCache
-from repro.telemetry import StatRegistry
-from repro.workloads import suite
-
-#: Region length knobs (instructions measured / warmed up per benchmark).
-REGION_INSTRUCTIONS = int(os.environ.get("REPRO_INSTRUCTIONS", "12000"))
-REGION_WARMUP = int(os.environ.get("REPRO_WARMUP", "6000"))
-
-#: Bound on the per-process result cache (distinct (benchmark, variant,
-#: region, overrides) keys kept live).
-RESULT_CACHE_SIZE = int(os.environ.get("REPRO_CACHE_SIZE", "256"))
+from repro.sim.variants import (  # noqa: F401  (re-exported API)
+    is_predictor_only,
+    register_variant,
+    spec_variant,
+    variant_kwargs,
+    variant_names,
+    variants_view,
+)
+from repro.sim import variants as _variants
 
 
-def _baseline_kwargs():
-    return dict(predictor=tage_scl_64kb())
-
-
-#: Named variants: each returns simulate() kwargs.
-VARIANTS: Dict[str, Callable[[], dict]] = {
-    "tage64": _baseline_kwargs,
-    "tage80": lambda: dict(predictor=tage_scl_80kb()),
-    "mtage": lambda: dict(predictor=mtage_sc()),
-    "core_only": lambda: dict(predictor=tage_scl_64kb(),
-                              br_config=br_config.core_only()),
-    "mini": lambda: dict(predictor=tage_scl_64kb(),
-                         br_config=br_config.mini()),
-    "big": lambda: dict(predictor=tage_scl_64kb(),
-                        br_config=br_config.big()),
-    "mtage+big": lambda: dict(predictor=mtage_sc(),
-                              br_config=br_config.big()),
-    "mini-nonspec": lambda: dict(
-        predictor=tage_scl_64kb(),
-        br_config=br_config.mini(
-            initiation_mode=br_config.NON_SPECULATIVE)),
-    "mini-indep": lambda: dict(
-        predictor=tage_scl_64kb(),
-        br_config=br_config.mini(
-            initiation_mode=br_config.INDEPENDENT_EARLY)),
-    "mini-oracle-merge": lambda: dict(
-        predictor=tage_scl_64kb(),
-        br_config=br_config.mini(),
-        track_merge_oracle=True),
-}
-
-#: Factories shared with the CLI, and the building blocks of ``spec:``
-#: variants (arbitrary predictor × BR-config combinations that the named
-#: VARIANTS matrix does not enumerate).
-PREDICTOR_FACTORIES = {
-    "tage64": tage_scl_64kb,
-    "tage80": tage_scl_80kb,
-    "mtage": mtage_sc,
-}
-
-CONFIG_FACTORIES = {
-    "core-only": br_config.core_only,
-    "mini": br_config.mini,
-    "big": br_config.big,
-}
-
-#: Named variants with no Branch Runahead attachment: their MPKI is a pure
-#: function of the committed branch stream, so ``outputs="mpki"`` cells may
-#: take the predictor-only replay fast path.
-PREDICTOR_ONLY_VARIANTS = frozenset({"tage64", "tage80", "mtage"})
-
-
-def is_predictor_only(variant: str) -> bool:
-    """True when the variant attaches nothing beyond a baseline predictor."""
-    if variant.startswith("spec:"):
-        return variant.endswith("+none")
-    return variant in PREDICTOR_ONLY_VARIANTS
-
-
-def spec_variant(predictor: str, config: Optional[str] = None) -> str:
-    """Build a ``spec:`` variant token for any predictor × config pair.
-
-    Tokens are plain strings, so they cache and pickle exactly like named
-    variants: ``spec_variant("tage80", "mini") == "spec:tage80+mini"``.
-    """
-    if predictor not in PREDICTOR_FACTORIES:
-        raise KeyError(f"unknown predictor {predictor!r}")
-    if config is not None and config not in CONFIG_FACTORIES:
-        raise KeyError(f"unknown BR config {config!r}")
-    return f"spec:{predictor}+{config or 'none'}"
-
-
-def variant_kwargs(variant: str) -> dict:
-    """Materialize ``simulate()`` kwargs for a named or ``spec:`` variant."""
-    if variant.startswith("spec:"):
-        predictor, _, config = variant[5:].partition("+")
-        kwargs = dict(predictor=PREDICTOR_FACTORIES[predictor]())
-        if config and config != "none":
-            kwargs["br_config"] = CONFIG_FACTORIES[config]()
-        return kwargs
-    return VARIANTS[variant]()
-
-
-# -- per-process caches -----------------------------------------------------
-
-_cache: "OrderedDict[Tuple, SimulationResult]" = OrderedDict()
-
-#: Shared committed-trace cache: one functional emulation per benchmark
-#: region, replayed by every variant (and inherited for free by forked
-#: worker processes).
-_trace_cache = TraceCache()
-
-
-def _cache_get(key: Tuple) -> Optional[SimulationResult]:
-    result = _cache.get(key)
-    if result is not None:
-        _cache.move_to_end(key)
-    return result
-
-
-def _cache_put(key: Tuple, result: SimulationResult) -> None:
-    if key in _cache:
-        _cache.move_to_end(key)
-    _cache[key] = result
-    while len(_cache) > RESULT_CACHE_SIZE:
-        _cache.popitem(last=False)
+def __getattr__(name: str):
+    # live compatibility views — each access reflects the current
+    # environment/registries instead of an import-time snapshot
+    if name == "REGION_INSTRUCTIONS":
+        return current_config().instructions
+    if name == "REGION_WARMUP":
+        return current_config().warmup
+    if name == "RESULT_CACHE_SIZE":
+        return current_config().result_cache_size
+    if name == "VARIANTS":
+        return variants_view()
+    if name == "PREDICTOR_FACTORIES":
+        from repro.predictors.registry import PREDICTORS
+        return PREDICTORS.as_dict()
+    if name == "CONFIG_FACTORIES":
+        from repro.core.config import UARCH_CONFIGS
+        return UARCH_CONFIGS.as_dict()
+    if name == "PREDICTOR_ONLY_VARIANTS":
+        return _variants.predictor_only_variants()
+    if name == "_cache":
+        return default_session().result_cache
+    if name == "_trace_cache":
+        return default_session().trace_cache
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def clear_caches() -> None:
-    """Drop both per-process caches (bench harness isolation)."""
-    _cache.clear()
-    _trace_cache.clear()
+    """Drop the default session's caches (bench harness isolation)."""
+    default_session().clear_caches()
 
 
-def run(benchmark: str, variant: str,
-        instructions: Optional[int] = None,
-        warmup: Optional[int] = None,
-        br_overrides: Optional[dict] = None,
-        cache: bool = True,
-        trace_cache: Optional[TraceCache] = None,
-        outputs: str = "full") -> SimulationResult:
-    """Run (or fetch from cache) one benchmark under one variant.
-
-    ``br_overrides`` tweaks the variant's BranchRunaheadConfig (used by the
-    Figure 13 sweeps); overridden runs are cached under their own key.
-    ``cache=False`` bypasses the result cache entirely — no lookup, no
-    store — so the bench harness's timed runs do real work and don't keep
-    whole result graphs alive.  ``trace_cache`` defaults to the
-    process-wide shared instance.
-
-    ``outputs="mpki"`` declares that only branch-outcome statistics are
-    wanted: predictor-only cells then take the
-    :func:`~repro.sim.predictor_replay.replay_mpki` fast path (tight
-    predict/update loop over the cached branch stream — bit-identical MPKI,
-    no timing model) and return a
-    :class:`~repro.sim.predictor_replay.PredictorReplayResult`.  Cells
-    whose variant attaches Branch Runahead fall back to the full simulator
-    — their mispredict counts depend on DCE timing.
-    """
-    if outputs not in ("full", "mpki"):
-        raise ValueError(f"unknown outputs mode {outputs!r}")
-    instructions = instructions or REGION_INSTRUCTIONS
-    warmup = warmup if warmup is not None else REGION_WARMUP
-    mpki_only = outputs == "mpki" and is_predictor_only(variant) \
-        and not br_overrides
-    override_key = tuple(sorted(br_overrides.items())) if br_overrides \
-        else ()
-    key = (benchmark, variant, instructions, warmup, override_key,
-           "mpki" if mpki_only else "full")
-    if cache:
-        cached = _cache_get(key)
-        if cached is not None:
-            return cached
-
-    kwargs = variant_kwargs(variant)
-    if br_overrides:
-        config = kwargs.get("br_config")
-        if config is None:
-            raise ValueError(f"variant {variant!r} has no BR config to "
-                             f"override")
-        for attr, value in br_overrides.items():
-            if not hasattr(config, attr):
-                raise AttributeError(f"unknown BR config field {attr!r}")
-            setattr(config, attr, value)
-    program = suite.load(benchmark)
-    region_cache = trace_cache if trace_cache is not None else _trace_cache
-    if mpki_only:
-        result = replay_mpki(program, kwargs["predictor"],
-                             instructions=instructions, warmup=warmup,
-                             trace_cache=region_cache)
-    else:
-        result = simulate(program, instructions=instructions, warmup=warmup,
-                          trace_cache=region_cache, **kwargs)
-    if cache:
-        _cache_put(key, result)
-    return result
+def run(benchmark: str, variant: str, **kwargs) -> SimulationResult:
+    """Run one cell in the default session (see :meth:`Session.run`)."""
+    return default_session().run(benchmark, variant, **kwargs)
 
 
 def run_all(variant: str, benchmarks=None, **kwargs):
     """Run a variant over the benchmark list; returns {name: result}."""
-    names = benchmarks or suite.BENCHMARK_NAMES
-    return {name: run(name, variant, **kwargs) for name in names}
-
-
-# -- parallel matrix runner -------------------------------------------------
-
-def default_jobs() -> int:
-    """Worker count: ``REPRO_JOBS`` env var, default 1 (serial)."""
-    return max(1, int(os.environ.get("REPRO_JOBS", "1")))
-
-
-def _run_cell(task: Tuple) -> dict:
-    """Worker entry: one ``(benchmark, variant)`` cell to a picklable dict.
-
-    Module-level (not a closure) so both fork and spawn start methods can
-    pickle it.  Each worker process owns forked copies of the module-level
-    caches; chunking cells benchmark-major means a worker replays its
-    benchmark's trace for every variant after the first.
-
-    ``registry_state`` carries the cell's full stat registry in the
-    kind-aware :meth:`~repro.telemetry.StatRegistry.to_state` form, so the
-    parent can :meth:`~repro.telemetry.StatRegistry.merge` registries from
-    all workers (see :func:`merged_registry`).
-    """
-    benchmark, variant, instructions, warmup, use_result_cache, outputs = \
-        task
-    hits_before = _trace_cache.hits
-    result = run(benchmark, variant, instructions=instructions,
-                 warmup=warmup, cache=use_result_cache, outputs=outputs)
-    return {
-        "benchmark": benchmark,
-        "variant": variant,
-        "payload": result.to_dict(),
-        "registry_state": result.build_registry().to_state(),
-        "trace_cache_hit": _trace_cache.hits > hits_before,
-    }
-
-
-def merged_registry(rows: Iterable[dict]) -> StatRegistry:
-    """Fold every cell's registry into one (counters add, gauges newest).
-
-    This is the multi-region aggregation path ``StatRegistry.merge`` was
-    built for: cross-cell event totals (mispredicts, cache hits, DCE uops)
-    come out summed, histograms concatenated.
-    """
-    merged = StatRegistry()
-    for row in rows:
-        merged.merge(StatRegistry.from_state(row["registry_state"]))
-    return merged
+    return default_session().run_all(variant, benchmarks=benchmarks,
+                                     **kwargs)
 
 
 def run_cells(cells: Sequence[Tuple[str, str]],
@@ -282,38 +96,10 @@ def run_cells(cells: Sequence[Tuple[str, str]],
               cache: bool = True,
               chunksize: Optional[int] = None,
               outputs: str = "full") -> List[dict]:
-    """Run many ``(benchmark, variant)`` cells, optionally in parallel.
-
-    Returns one dict per cell — ``{"benchmark", "variant", "payload",
-    "registry_state", "trace_cache_hit"}`` with ``payload =
-    SimulationResult.to_dict()`` — in the *input* order regardless of
-    worker scheduling, so output is deterministic for any job count.
-    ``jobs`` defaults to ``REPRO_JOBS`` (serial when unset); pass cells
-    benchmark-major and ``chunksize`` equal to the variant count so each
-    worker keeps per-benchmark trace-cache locality.  ``outputs="mpki"``
-    routes predictor-only cells through the MPKI replay fast path (see
-    :func:`run`).
-    """
-    instructions = instructions or REGION_INSTRUCTIONS
-    warmup = warmup if warmup is not None else REGION_WARMUP
-    jobs = jobs if jobs is not None else default_jobs()
-    tasks = [(benchmark, variant, instructions, warmup, cache, outputs)
-             for benchmark, variant in cells]
-    if jobs <= 1 or len(tasks) <= 1:
-        return [_run_cell(task) for task in tasks]
-
-    import multiprocessing
-
-    try:
-        context = multiprocessing.get_context("fork")
-    except ValueError:  # platform without fork (e.g. Windows)
-        context = multiprocessing.get_context("spawn")
-    jobs = min(jobs, len(tasks))
-    if chunksize is None:
-        chunksize = max(1, (len(tasks) + jobs - 1) // jobs)
-    with context.Pool(processes=jobs) as pool:
-        # Pool.map preserves input order, so the merge is deterministic
-        return pool.map(_run_cell, tasks, chunksize=chunksize)
+    """Run cells in the default session (see :meth:`Session.run_cells`)."""
+    return default_session().run_cells(
+        cells, instructions=instructions, warmup=warmup, jobs=jobs,
+        cache=cache, chunksize=chunksize, outputs=outputs)
 
 
 def run_matrix(variants: Optional[Iterable[str]] = None,
@@ -324,37 +110,16 @@ def run_matrix(variants: Optional[Iterable[str]] = None,
                cache: bool = True,
                outputs: str = "full",
                merged: bool = False):
-    """Run a full variant × benchmark matrix; returns nested payload dicts.
+    """Run a matrix in the default session (see :meth:`Session.run_matrix`)."""
+    return default_session().run_matrix(
+        variants=variants, benchmarks=benchmarks, instructions=instructions,
+        warmup=warmup, jobs=jobs, cache=cache, outputs=outputs,
+        merged=merged)
 
-    ``result[benchmark][variant]`` is the cell's
-    :meth:`~repro.sim.results.SimulationResult.to_dict` payload.  Cells are
-    laid out benchmark-major and chunked one benchmark per worker dispatch,
-    so a worker emulates each of its benchmarks once and replays the trace
-    for the remaining variants.
 
-    ``outputs="mpki"`` runs predictor-only variants through the MPKI
-    replay fast path.  ``merged=True`` additionally returns the
-    cross-cell :func:`merged_registry`, i.e. ``(matrix, registry)`` —
-    one unified :class:`~repro.telemetry.StatRegistry` even when the
-    cells ran in parallel worker processes.
-    """
-    variant_list = list(variants) if variants is not None else list(VARIANTS)
-    benchmark_list = (list(benchmarks) if benchmarks is not None
-                      else list(suite.BENCHMARK_NAMES))
-    cells = [(benchmark, variant)
-             for benchmark in benchmark_list
-             for variant in variant_list]
-    rows = run_cells(cells, instructions=instructions, warmup=warmup,
-                     jobs=jobs, cache=cache,
-                     chunksize=max(1, len(variant_list)),
-                     outputs=outputs)
-    matrix: Dict[str, Dict[str, dict]] = {name: {}
-                                          for name in benchmark_list}
-    for row in rows:
-        matrix[row["benchmark"]][row["variant"]] = row["payload"]
-    if merged:
-        return matrix, merged_registry(rows)
-    return matrix
+def _run_cell(task: Tuple) -> dict:
+    """Legacy alias for the worker entry point (moved to repro.session)."""
+    return _session._run_cell(task)
 
 
 def hard_branch_accuracy(result: SimulationResult, count: int = 32

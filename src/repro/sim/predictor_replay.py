@@ -29,7 +29,7 @@ from __future__ import annotations
 
 from bisect import bisect_left
 from collections import Counter, deque
-from typing import List, Optional, Tuple
+from typing import List, Optional, Tuple, Union
 
 from repro.emulator.machine import Machine
 from repro.isa.program import Program
@@ -178,7 +178,8 @@ class PredictorReplayResult:
         }
 
 
-def replay_mpki(program: Program, predictor: BranchPredictor,
+def replay_mpki(program: Program,
+                predictor: Union[BranchPredictor, str],
                 instructions: int, warmup: int = 0,
                 start_instruction: int = 0,
                 trace_cache: Optional[TraceCache] = None,
@@ -195,6 +196,9 @@ def replay_mpki(program: Program, predictor: BranchPredictor,
       so the whole run is reported and ``warmup_truncated`` is set —
       exactly the short-stream rule of the timing model.
     """
+    if isinstance(predictor, str):
+        from repro.predictors.registry import make_predictor
+        predictor = make_predictor(predictor)
     if telemetry is None:
         telemetry = Telemetry()
     total = instructions + warmup

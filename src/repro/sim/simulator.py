@@ -16,9 +16,9 @@ measure against.
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Callable, Optional, Union
 
-from repro.core.config import BranchRunaheadConfig
+from repro.core.config import UARCH_CONFIGS, BranchRunaheadConfig
 from repro.core.runahead import BranchRunahead
 from repro.emulator.machine import Machine
 from repro.isa.program import Program
@@ -36,9 +36,9 @@ def simulate(program: Program,
              instructions: int = 40_000,
              warmup: int = 10_000,
              start_instruction: int = 0,
-             predictor: Optional[BranchPredictor] = None,
+             predictor: Optional[Union[BranchPredictor, str]] = None,
              predictor_factory: Optional[Callable[[], BranchPredictor]] = None,
-             br_config: Optional[BranchRunaheadConfig] = None,
+             br_config: Optional[Union[BranchRunaheadConfig, str]] = None,
              core_config: Optional[CoreConfig] = None,
              hierarchy_config: Optional[HierarchyConfig] = None,
              track_merge_oracle: bool = False,
@@ -51,7 +51,10 @@ def simulate(program: Program,
     from reported counts.  ``start_instruction`` fast-forwards the program
     functionally before timing begins (SimPoint-style region simulation).
     Passing ``br_config`` attaches Branch Runahead; ``predictor`` defaults
-    to a fresh 64KB TAGE-SC-L.  Pass ``tracer`` (or a full ``telemetry``
+    to a fresh 64KB TAGE-SC-L.  Both accept registry names as well as
+    instances — ``predictor="mtage"`` and ``br_config="mini"`` resolve
+    through the component registries (with near-miss suggestions on a
+    typo) and construct a fresh component.  Pass ``tracer`` (or a full ``telemetry``
     bundle) to capture pipeline events; with neither, tracing is fully
     disabled — each component checks the no-op sink once at construction
     and emits nothing on the hot path.
@@ -70,6 +73,11 @@ def simulate(program: Program,
     if predictor is None:
         predictor = predictor_factory() if predictor_factory \
             else tage_scl_64kb()
+    elif isinstance(predictor, str):
+        from repro.predictors.registry import make_predictor
+        predictor = make_predictor(predictor)
+    if isinstance(br_config, str):
+        br_config = UARCH_CONFIGS.get(br_config)()
     total = instructions + warmup
     machine = None
     if trace_cache is not None:

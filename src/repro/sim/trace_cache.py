@@ -46,6 +46,7 @@ import pickle
 from collections import OrderedDict
 from typing import Iterator, List, Optional, Tuple
 
+from repro.config import env_int, env_str
 from repro.emulator.machine import Machine
 from repro.emulator.memory import Memory
 from repro.emulator.trace import DynamicUop
@@ -192,12 +193,11 @@ class TraceCache:
     def __init__(self, capacity: Optional[int] = None,
                  disk_dir: Optional[str] = None):
         if capacity is None:
-            capacity = int(os.environ.get("REPRO_TRACE_CACHE",
-                                          DEFAULT_CAPACITY))
+            capacity = env_int("REPRO_TRACE_CACHE", DEFAULT_CAPACITY)
         if capacity < 1:
             raise ValueError("trace cache capacity must be positive")
         if disk_dir is None:
-            disk_dir = os.environ.get("REPRO_TRACE_CACHE_DIR") or None
+            disk_dir = env_str("REPRO_TRACE_CACHE_DIR", None)
         self.capacity = capacity
         self.disk_dir = disk_dir
         self._entries: "OrderedDict[Tuple[int, int, int], TraceEntry]" = \

@@ -269,6 +269,19 @@ class StatRegistry:
                 raise ValueError(f"unknown stat kind {kind!r} for {name!r}")
         return registry
 
+    @classmethod
+    def from_states(cls, states) -> "StatRegistry":
+        """Merge many :meth:`to_state` payloads into one fresh registry.
+
+        The cross-cell aggregation primitive of the session runner:
+        ``run_matrix(merged=True)`` folds every worker row's
+        ``registry_state`` through here.
+        """
+        merged = cls()
+        for state in states:
+            merged.merge(cls.from_state(state))
+        return merged
+
     # -- merging ------------------------------------------------------------------
 
     def merge(self, other: "StatRegistry") -> "StatRegistry":

@@ -1,14 +1,12 @@
 """Workloads: 17 synthetic kernels mirroring the paper's benchmark set."""
 
 from repro.workloads.graphs import CsrGraph, edge_list, uniform_random_graph
-from repro.workloads.suite import (
-    BENCHMARK_NAMES,
-    BENCHMARKS,
+from repro.workloads.registry import (
     Benchmark,
-    get,
-    load,
-    names,
+    register_benchmark,
+    unregister_benchmark,
 )
+from repro.workloads.suite import get, load, names
 
 __all__ = [
     "CsrGraph",
@@ -17,7 +15,18 @@ __all__ = [
     "BENCHMARK_NAMES",
     "BENCHMARKS",
     "Benchmark",
+    "register_benchmark",
+    "unregister_benchmark",
     "get",
     "load",
     "names",
 ]
+
+
+def __getattr__(name: str):
+    # BENCHMARKS / BENCHMARK_NAMES are live registry views: delegate to
+    # suite's own module __getattr__ rather than snapshotting at import
+    if name in ("BENCHMARKS", "BENCHMARK_NAMES", "EXTRA_BENCHMARKS"):
+        from repro.workloads import suite
+        return getattr(suite, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -12,6 +12,7 @@ from collections import deque
 
 from repro.isa.program import Program, ProgramBuilder
 from repro.workloads.graphs import edge_list, uniform_random_graph
+from repro.workloads.registry import register_benchmark
 
 NUM_NODES = 1024
 AVG_DEGREE = 4
@@ -37,6 +38,7 @@ def _bfs_depths(graph, source: int = 0):
     return depth, sigma
 
 
+@register_benchmark("bc", suite="gap")
 def build() -> Program:
     graph = uniform_random_graph(NUM_NODES, AVG_DEGREE, seed=61)
     sources, targets, _ = edge_list(graph)

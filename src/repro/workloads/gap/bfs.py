@@ -17,6 +17,7 @@ from typing import List
 
 from repro.isa.program import Program, ProgramBuilder
 from repro.workloads.graphs import uniform_random_graph
+from repro.workloads.registry import register_benchmark
 
 NUM_NODES = 1024
 AVG_DEGREE = 4
@@ -41,6 +42,7 @@ def _bfs_order(graph, source: int = 0) -> List[int]:
     return order
 
 
+@register_benchmark("bfs", suite="gap")
 def build() -> Program:
     graph = uniform_random_graph(NUM_NODES, AVG_DEGREE, seed=11)
     frontier_order = _bfs_order(graph)

@@ -10,11 +10,13 @@ from __future__ import annotations
 
 from repro.isa.program import Program, ProgramBuilder
 from repro.workloads.graphs import edge_list, uniform_random_graph
+from repro.workloads.registry import register_benchmark
 
 NUM_NODES = 1024
 AVG_DEGREE = 4
 
 
+@register_benchmark("cc", suite="gap")
 def build() -> Program:
     graph = uniform_random_graph(NUM_NODES, AVG_DEGREE, seed=23)
     sources, targets, _ = edge_list(graph)

@@ -12,12 +12,14 @@ from __future__ import annotations
 from repro.isa.program import Program, ProgramBuilder
 from repro.workloads.builder import random_words, rng_for
 from repro.workloads.graphs import edge_list, uniform_random_graph
+from repro.workloads.registry import register_benchmark
 
 NUM_NODES = 1024
 AVG_DEGREE = 4
 THRESHOLD = 96
 
 
+@register_benchmark("pr", suite="gap")
 def build() -> Program:
     graph = uniform_random_graph(NUM_NODES, AVG_DEGREE, seed=43)
     sources, targets, _ = edge_list(graph)

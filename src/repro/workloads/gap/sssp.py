@@ -11,11 +11,13 @@ from __future__ import annotations
 from repro.isa.program import Program, ProgramBuilder
 from repro.workloads.builder import random_words, rng_for
 from repro.workloads.graphs import edge_list, uniform_random_graph
+from repro.workloads.registry import register_benchmark
 
 NUM_NODES = 1024
 AVG_DEGREE = 4
 
 
+@register_benchmark("sssp", suite="gap")
 def build() -> Program:
     graph = uniform_random_graph(NUM_NODES, AVG_DEGREE, seed=31)
     sources, targets, weights = edge_list(graph)

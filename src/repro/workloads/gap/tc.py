@@ -11,11 +11,13 @@ from __future__ import annotations
 from repro.isa.program import Program, ProgramBuilder
 from repro.workloads.builder import advance_index
 from repro.workloads.graphs import uniform_random_graph
+from repro.workloads.registry import register_benchmark
 
 NUM_NODES = 512
 AVG_DEGREE = 8
 
 
+@register_benchmark("tc", suite="gap")
 def build() -> Program:
     graph = uniform_random_graph(NUM_NODES, AVG_DEGREE, seed=53)
     b = ProgramBuilder("tc")

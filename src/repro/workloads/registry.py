@@ -1,0 +1,89 @@
+"""Benchmark component registry.
+
+Replaces the hand-maintained ``BENCHMARKS`` list in
+:mod:`repro.workloads.suite`: each workload module registers its own
+kernel builder,
+
+    @register_benchmark("mcf_17", suite="spec17")
+    def build() -> Program:
+        ...
+
+and the suite facade derives its views (figure-ordered ``BENCHMARKS``,
+``BENCHMARK_NAMES``, per-suite filters) from this registry.  Registration
+order is the paper's figure order, fixed by the ordered imports in
+``suite.py`` — a module that registers later simply appends.
+
+``extra=True`` marks workloads outside the paper's 17-benchmark figure
+set (sweep stressors, toy kernels registered by tests): they are loadable
+by name but excluded from ``BENCHMARK_NAMES`` and the default matrix.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List
+
+from repro.isa.program import Program
+from repro.registry import Registry
+
+
+class Benchmark:
+    """Registry entry: name, suite tag, and kernel builder."""
+
+    def __init__(self, name: str, suite: str,
+                 builder: Callable[[], Program], extra: bool = False):
+        self.name = name
+        self.suite = suite
+        self.builder = builder
+        self.extra = extra
+
+    def __repr__(self) -> str:
+        return f"Benchmark({self.name!r}, {self.suite!r})"
+
+
+#: name -> Benchmark (insertion order = paper figure order).
+BENCHMARK_REGISTRY = Registry("benchmark")
+
+
+def register_benchmark(name: str, *, suite: str, extra: bool = False,
+                       **meta: Any) -> Callable[..., Any]:
+    """Decorator registering a zero-argument ``Program`` builder."""
+    def decorator(builder: Callable[[], Program]) -> Callable[[], Program]:
+        BENCHMARK_REGISTRY.register(
+            name, Benchmark(name, suite, builder, extra=extra),
+            suite=suite, extra=extra, **meta)
+        return builder
+    return decorator
+
+
+def unregister_benchmark(name: str) -> None:
+    """Remove a benchmark (test isolation for toy workloads)."""
+    BENCHMARK_REGISTRY.unregister(name)
+    _program_cache.pop(name, None)
+
+
+def get(name: str) -> Benchmark:
+    return BENCHMARK_REGISTRY.get(name)
+
+
+def figure_benchmarks() -> List[Benchmark]:
+    """The paper's figure set, in plot order (non-extra entries)."""
+    return [entry.obj for entry in BENCHMARK_REGISTRY.entries()
+            if not entry.obj.extra]
+
+
+def all_benchmarks() -> List[Benchmark]:
+    return [entry.obj for entry in BENCHMARK_REGISTRY.entries()]
+
+
+#: Built programs, cached per process: kernels are deterministic, and a
+#: stable Program identity is what lets every session's trace cache key by
+#: ``id(program)``.  Shared across sessions on purpose — programs are
+#: immutable once built.
+_program_cache: Dict[str, Program] = {}
+
+
+def load(name: str) -> Program:
+    """Build (and cache) the kernel program for ``name``."""
+    if name not in _program_cache:
+        _program_cache[name] = get(name).builder()
+    return _program_cache[name]

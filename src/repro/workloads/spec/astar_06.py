@@ -10,10 +10,12 @@ from __future__ import annotations
 
 from repro.isa.program import Program, ProgramBuilder
 from repro.workloads.builder import advance_index, random_words, rng_for
+from repro.workloads.registry import register_benchmark
 
 GRID = 4096
 
 
+@register_benchmark("astar_06", suite="spec06")
 def build() -> Program:
     rng = rng_for("astar_06")
     b = ProgramBuilder("astar_06")

@@ -9,10 +9,12 @@ from __future__ import annotations
 
 from repro.isa.program import Program, ProgramBuilder
 from repro.workloads.builder import advance_index, random_words, rng_for
+from repro.workloads.registry import register_benchmark
 
 BLOCK = 8192
 
 
+@register_benchmark("bzip2_06", suite="spec06")
 def build() -> Program:
     rng = rng_for("bzip2_06")
     b = ProgramBuilder("bzip2_06")

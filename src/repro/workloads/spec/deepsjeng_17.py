@@ -10,11 +10,13 @@ from __future__ import annotations
 
 from repro.isa.program import Program, ProgramBuilder
 from repro.workloads.builder import advance_index, random_words, rng_for
+from repro.workloads.registry import register_benchmark
 
 BOARD = 2048
 ATTACK = 2048
 
 
+@register_benchmark("deepsjeng_17", suite="spec17")
 def build() -> Program:
     rng = rng_for("deepsjeng_17")
     b = ProgramBuilder("deepsjeng_17")

@@ -11,11 +11,13 @@ from __future__ import annotations
 
 from repro.isa.program import Program, ProgramBuilder
 from repro.workloads.builder import advance_index, random_words, rng_for
+from repro.workloads.registry import register_benchmark
 
 BOARD_SIZE = 4096
 EMPTY = 2
 
 
+@register_benchmark("leela_17", suite="spec17")
 def build() -> Program:
     rng = rng_for("leela_17")
     b = ProgramBuilder("leela_17")

@@ -10,10 +10,12 @@ from __future__ import annotations
 
 from repro.isa.program import Program, ProgramBuilder
 from repro.workloads.builder import random_words, rng_for
+from repro.workloads.registry import register_benchmark
 
 NODES = 4096
 
 
+@register_benchmark("mcf_06", suite="spec06")
 def build() -> Program:
     rng = rng_for("mcf_06")
     b = ProgramBuilder("mcf_06")

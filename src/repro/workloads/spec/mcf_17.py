@@ -11,11 +11,13 @@ from __future__ import annotations
 
 from repro.isa.program import Program, ProgramBuilder
 from repro.workloads.builder import random_words, rng_for, sequential_index
+from repro.workloads.registry import register_benchmark
 
 NUM_ARCS = 4096
 NUM_NODES = 1024
 
 
+@register_benchmark("mcf_17", suite="spec17")
 def build() -> Program:
     rng = rng_for("mcf_17")
     b = ProgramBuilder("mcf_17")

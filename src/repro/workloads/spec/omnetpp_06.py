@@ -9,11 +9,13 @@ from __future__ import annotations
 
 from repro.isa.program import Program, ProgramBuilder
 from repro.workloads.builder import random_words, rng_for, sequential_index
+from repro.workloads.registry import register_benchmark
 
 EVENTS = 4096
 CLOCK_STEP = 1 << 18
 
 
+@register_benchmark("omnetpp_06", suite="spec06")
 def build() -> Program:
     rng = rng_for("omnetpp_06")
     b = ProgramBuilder("omnetpp_06")

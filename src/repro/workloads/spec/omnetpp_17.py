@@ -10,10 +10,12 @@ from __future__ import annotations
 
 from repro.isa.program import Program, ProgramBuilder
 from repro.workloads.builder import advance_index, random_words, rng_for
+from repro.workloads.registry import register_benchmark
 
 HEAP = 4096
 
 
+@register_benchmark("omnetpp_17", suite="spec17")
 def build() -> Program:
     rng = rng_for("omnetpp_17")
     b = ProgramBuilder("omnetpp_17")

@@ -9,10 +9,12 @@ from __future__ import annotations
 
 from repro.isa.program import Program, ProgramBuilder
 from repro.workloads.builder import advance_index, random_words, rng_for
+from repro.workloads.registry import register_benchmark
 
 SQUARES = 2048
 
 
+@register_benchmark("sjeng_06", suite="spec06")
 def build() -> Program:
     rng = rng_for("sjeng_06")
     b = ProgramBuilder("sjeng_06")

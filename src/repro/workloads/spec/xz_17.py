@@ -12,11 +12,13 @@ from __future__ import annotations
 
 from repro.isa.program import Program, ProgramBuilder
 from repro.workloads.builder import advance_index, random_words, rng_for
+from repro.workloads.registry import register_benchmark
 
 DATA_SIZE = 8192
 HASH_SIZE = 1024
 
 
+@register_benchmark("xz_17", suite="spec17")
 def build() -> Program:
     rng = rng_for("xz_17")
     b = ProgramBuilder("xz_17")

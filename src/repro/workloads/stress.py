@@ -19,11 +19,13 @@ from __future__ import annotations
 
 from repro.isa.program import Program, ProgramBuilder
 from repro.workloads.builder import random_words, rng_for
+from repro.workloads.registry import register_benchmark
 
 NUM_SEGMENTS = 20
 SLICE = 1024  # words of random data per branch site
 
 
+@register_benchmark("stress_many", suite="stress", extra=True)
 def many_branches() -> Program:
     rng = rng_for("stress_many")
     b = ProgramBuilder("stress_many")

@@ -1,94 +1,75 @@
-"""Benchmark registry.
+"""Benchmark suite facade.
 
 The 17 branch-misprediction-intensive workloads of the paper's evaluation
 (SPEC CPU2017 INT speed, SPEC CPU2006 INT, GAP), in the order the figures
-plot them.  ``load(name)`` builds the kernel's :class:`Program`; programs
-are cached per process since kernels are deterministic.
+plot them.  The catalogue itself lives in
+:mod:`repro.workloads.registry`: every workload module self-registers its
+builder with ``@register_benchmark``, and this module only fixes the
+figure order (by importing the modules in plot order) and exposes the
+long-standing views — ``BENCHMARKS``, ``BENCHMARK_NAMES``, ``get``,
+``load``, ``names``.
+
+``BENCHMARKS`` / ``BENCHMARK_NAMES`` are *live* module attributes (PEP
+562): a benchmark registered after import — a toy workload in a test, a
+plug-in suite — appears in them immediately.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+from typing import List
 
-from repro.isa.program import Program
-from repro.workloads import stress
-from repro.workloads.gap import bc, bfs, cc, pr, sssp, tc
-from repro.workloads.spec import (
-    astar_06,
-    bzip2_06,
-    deepsjeng_17,
-    gobmk_06,
-    leela_17,
-    mcf_06,
-    mcf_17,
-    omnetpp_06,
-    omnetpp_17,
-    sjeng_06,
-    xz_17,
+from repro.workloads.registry import (  # noqa: F401  (re-exported API)
+    Benchmark,
+    get,
+    load,
+    register_benchmark,
+    unregister_benchmark,
 )
 
+# Importing the workload modules triggers their registrations.  The order
+# below is the paper's x-axis order (Figures 1-3, 5, 10-12, 14) and
+# becomes the registry's insertion order — keep it.
+from repro.workloads.spec import mcf_17      # noqa: F401,E402
+from repro.workloads.spec import leela_17    # noqa: F401
+from repro.workloads.spec import xz_17       # noqa: F401
+from repro.workloads.spec import deepsjeng_17  # noqa: F401
+from repro.workloads.spec import omnetpp_17  # noqa: F401
+from repro.workloads.spec import astar_06    # noqa: F401
+from repro.workloads.spec import mcf_06      # noqa: F401
+from repro.workloads.spec import gobmk_06    # noqa: F401
+from repro.workloads.spec import bzip2_06    # noqa: F401
+from repro.workloads.spec import sjeng_06    # noqa: F401
+from repro.workloads.spec import omnetpp_06  # noqa: F401
+from repro.workloads.gap import cc           # noqa: F401
+from repro.workloads.gap import bfs          # noqa: F401
+from repro.workloads.gap import tc           # noqa: F401
+from repro.workloads.gap import bc           # noqa: F401
+from repro.workloads.gap import pr           # noqa: F401
+from repro.workloads.gap import sssp         # noqa: F401
+from repro.workloads import stress           # noqa: F401
 
-class Benchmark:
-    """Registry entry: name, suite tag, and kernel builder."""
-
-    def __init__(self, name: str, suite: str, builder: Callable[[], Program]):
-        self.name = name
-        self.suite = suite
-        self.builder = builder
-
-    def __repr__(self) -> str:
-        return f"Benchmark({self.name!r}, {self.suite!r})"
-
-
-#: Paper's x-axis order (Figures 1-3, 5, 10-12, 14).
-BENCHMARKS: List[Benchmark] = [
-    Benchmark("mcf_17", "spec17", mcf_17.build),
-    Benchmark("leela_17", "spec17", leela_17.build),
-    Benchmark("xz_17", "spec17", xz_17.build),
-    Benchmark("deepsjeng_17", "spec17", deepsjeng_17.build),
-    Benchmark("omnetpp_17", "spec17", omnetpp_17.build),
-    Benchmark("astar_06", "spec06", astar_06.build),
-    Benchmark("mcf_06", "spec06", mcf_06.build),
-    Benchmark("gobmk_06", "spec06", gobmk_06.build),
-    Benchmark("bzip2_06", "spec06", bzip2_06.build),
-    Benchmark("sjeng_06", "spec06", sjeng_06.build),
-    Benchmark("omnetpp_06", "spec06", omnetpp_06.build),
-    Benchmark("cc", "gap", cc.build),
-    Benchmark("bfs", "gap", bfs.build),
-    Benchmark("tc", "gap", tc.build),
-    Benchmark("bc", "gap", bc.build),
-    Benchmark("pr", "gap", pr.build),
-    Benchmark("sssp", "gap", sssp.build),
-]
-
-BENCHMARK_NAMES = [benchmark.name for benchmark in BENCHMARKS]
-
-#: Extra workloads outside the paper's figure set (sweep stressors etc.).
-EXTRA_BENCHMARKS: List[Benchmark] = [
-    Benchmark("stress_many", "stress", stress.many_branches),
-]
-
-_by_name: Dict[str, Benchmark] = {bm.name: bm
-                                  for bm in BENCHMARKS + EXTRA_BENCHMARKS}
-_program_cache: Dict[str, Program] = {}
+from repro.workloads import registry as _registry
 
 
-def get(name: str) -> Benchmark:
-    if name not in _by_name:
-        raise KeyError(f"unknown benchmark {name!r}; "
-                       f"choose from {BENCHMARK_NAMES}")
-    return _by_name[name]
-
-
-def load(name: str) -> Program:
-    """Build (and cache) the kernel program for ``name``."""
-    if name not in _program_cache:
-        _program_cache[name] = get(name).builder()
-    return _program_cache[name]
+def __getattr__(name: str):
+    # live views over the registry, so post-import registrations show up
+    if name == "BENCHMARKS":
+        return _registry.figure_benchmarks()
+    if name == "BENCHMARK_NAMES":
+        return [bm.name for bm in _registry.figure_benchmarks()]
+    if name == "EXTRA_BENCHMARKS":
+        return [bm for bm in _registry.all_benchmarks() if bm.extra]
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def names(suite: str = None) -> List[str]:
-    """Benchmark names, optionally filtered by suite tag."""
+    """Figure-set benchmark names, optionally filtered by suite tag."""
+    benchmarks = _registry.figure_benchmarks()
     if suite is None:
-        return list(BENCHMARK_NAMES)
-    return [bm.name for bm in BENCHMARKS if bm.suite == suite]
+        return [bm.name for bm in benchmarks]
+    return [bm.name for bm in benchmarks if bm.suite == suite]
+
+
+def all_names() -> List[str]:
+    """Every registered benchmark name, extras included."""
+    return [bm.name for bm in _registry.all_benchmarks()]

@@ -2,8 +2,103 @@
 
 import json
 
+import pytest
+
 from repro.cli import main as cli_main
 from repro.sim.results import ipc_improvement, mpki_improvement
+
+
+class TestConfigCommand:
+    def test_defaults_with_provenance(self, capsys):
+        assert cli_main(["config"]) == 0
+        out = capsys.readouterr().out
+        assert "instructions" in out and "default" in out
+        assert "precedence: default < config file < REPRO_* env < flag" \
+            in out
+
+    def test_json_layering(self, tmp_path, monkeypatch, capsys):
+        path = tmp_path / "cfg.json"
+        path.write_text('{"instructions": 3000, "warmup": 100}')
+        monkeypatch.setenv("REPRO_INSTRUCTIONS", "4000")
+        code = cli_main(["--config-file", str(path), "config",
+                         "--jobs", "2", "--json"])
+        assert code == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["config"]["instructions"] == 4000  # env beat file
+        assert document["config"]["warmup"] == 100         # file beat default
+        assert document["config"]["jobs"] == 2             # flag
+        assert document["provenance"] == {
+            "instructions": "env", "warmup": "file", "jobs": "flag",
+            "result_cache_size": "default", "trace_cache_size": "default",
+            "trace_cache_dir": "default", "variant": "default"}
+        assert document["config_file"] == str(path)
+
+    def test_config_file_env_var(self, tmp_path, monkeypatch, capsys):
+        path = tmp_path / "cfg.json"
+        path.write_text('{"variant": "big"}')
+        monkeypatch.setenv("REPRO_CONFIG", str(path))
+        assert cli_main(["config", "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["config"]["variant"] == "big"
+        assert document["config_file"] == str(path)
+
+
+class TestListCommand:
+    @pytest.mark.parametrize("kind,expected", [
+        ("benchmarks", "sjeng_06"),
+        ("predictors", "tage64"),
+        ("configs", "mini"),
+        ("variants", "mtage+big"),
+    ])
+    def test_kinds(self, kind, expected, capsys):
+        assert cli_main(["list", "--kind", kind]) == 0
+        assert expected in capsys.readouterr().out
+
+    def test_default_kind_is_benchmarks(self, capsys):
+        assert cli_main(["list"]) == 0
+        assert "sjeng_06" in capsys.readouterr().out
+
+    def test_output_is_stable_sorted(self, capsys):
+        for kind in ("benchmarks", "predictors", "configs", "variants"):
+            assert cli_main(["list", "--kind", kind]) == 0
+            lines = capsys.readouterr().out.strip().splitlines()[1:]
+            names = [line.split()[0] for line in lines]
+            assert names == sorted(names), f"{kind} not sorted"
+
+    def test_all_sections(self, capsys):
+        assert cli_main(["list", "--kind", "all"]) == 0
+        out = capsys.readouterr().out
+        for section in ("[benchmarks]", "[predictors]", "[configs]",
+                        "[variants]"):
+            assert section in out
+
+
+class TestResolvedRegionDefaults:
+    def test_run_region_follows_env(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_INSTRUCTIONS", "1000")
+        monkeypatch.setenv("REPRO_WARMUP", "500")
+        code = cli_main(["run", "sjeng_06", "--config", "none", "--json"])
+        assert code == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["stats"]["core"]["instructions"] == 1000
+
+    def test_flag_beats_env(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_INSTRUCTIONS", "9999")
+        code = cli_main(["run", "sjeng_06", "--config", "none",
+                         "--instructions", "1000", "--warmup", "500",
+                         "--json"])
+        assert code == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["stats"]["core"]["instructions"] == 1000
+
+    def test_default_br_config_comes_from_variant_field(
+            self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_VARIANT", "core-only")
+        monkeypatch.setenv("REPRO_INSTRUCTIONS", "1000")
+        monkeypatch.setenv("REPRO_WARMUP", "500")
+        assert cli_main(["run", "sjeng_06", "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["branch_runahead"] is True
 
 
 class TestRunJson:

@@ -87,13 +87,14 @@ class TestSpecVariants:
 
 class TestResultCacheLru:
     def test_cache_is_bounded(self, monkeypatch):
-        monkeypatch.setattr(experiments, "RESULT_CACHE_SIZE", 2)
+        # the bound is read from the environment at call time, not import
+        monkeypatch.setenv("REPRO_CACHE_SIZE", "2")
         for variant in ("tage64", "tage80", "mtage", "core_only"):
             experiments.run("sjeng_06", variant, **REGION)
         assert len(experiments._cache) == 2
 
     def test_eviction_is_lru_ordered(self, monkeypatch):
-        monkeypatch.setattr(experiments, "RESULT_CACHE_SIZE", 2)
+        monkeypatch.setenv("REPRO_CACHE_SIZE", "2")
         first = experiments.run("sjeng_06", "tage64", **REGION)
         experiments.run("sjeng_06", "tage80", **REGION)
         # touch tage64 so tage80 is now the least recently used
