@@ -1,10 +1,16 @@
 """Shared infrastructure for the figure/table benches.
 
 Every bench reproduces one table or figure of the paper: it runs the
-required simulations through :mod:`repro.sim.experiments` (cached per
-process, so benches share runs), prints the paper's rows/series, and
-asserts the qualitative shape.  Region length is controlled with
-``REPRO_INSTRUCTIONS`` / ``REPRO_WARMUP``.
+required simulations through :mod:`repro.sim.experiments`, prints the
+paper's rows/series, and asserts the qualitative shape.  Region length is
+controlled with ``REPRO_INSTRUCTIONS`` / ``REPRO_WARMUP``.
+
+All benches share **one explicit** :class:`~repro.session.Session` (the
+autouse ``shared_session`` fixture installs it as the process default):
+every figure's ``experiments.run`` call and every sweep lands in the same
+result/trace caches — each benchmark region is emulated once for the
+whole tier-2 run — and every cell reports into that session's single
+merged ``StatRegistry``.
 
 Run everything with::
 
@@ -18,6 +24,8 @@ import os
 
 import pytest
 
+from repro.config import current_config
+from repro.session import Session, set_default_session
 from repro.workloads import suite
 
 #: Full benchmark list (the paper's x-axis order).
@@ -28,6 +36,22 @@ ALL_BENCHMARKS = list(suite.BENCHMARK_NAMES)
 #: the many-hard-branch pressure the SPEC regions provide in the paper.
 SWEEP_BENCHMARKS = ["leela_17", "deepsjeng_17", "gobmk_06", "sjeng_06",
                     "cc", "sssp", "stress_many"]
+
+
+@pytest.fixture(scope="session", autouse=True)
+def shared_session():
+    """The one Session every figure/table bench runs under.
+
+    Installed as the process default so module-level ``experiments.*``
+    calls inside the benches resolve to it; benches that thread a session
+    explicitly (the Figure 13 sweeps) take it as a fixture argument.
+    Restores the previous default on teardown so the figure run never
+    leaks state into an embedding process.
+    """
+    session = Session(current_config())
+    previous = set_default_session(session)
+    yield session
+    set_default_session(previous)
 
 
 def print_header(title: str) -> None:

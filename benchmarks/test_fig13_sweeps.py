@@ -13,10 +13,13 @@ from conftest import SWEEP_BENCHMARKS, print_header, run_once
 from repro.sim import sweeps
 
 
-def test_fig13_parameter_sweeps(benchmark):
+def test_fig13_parameter_sweeps(benchmark, shared_session):
+    # the session is threaded explicitly: every sweep cell shares the
+    # figure run's caches and reports into its merged StatRegistry
     def experiment():
         return {
-            parameter: sweeps.sweep_parameter(parameter, SWEEP_BENCHMARKS)
+            parameter: sweeps.sweep_parameter(parameter, SWEEP_BENCHMARKS,
+                                              session=shared_session)
             for parameter in sweeps.SWEEPS
         }
 

@@ -10,7 +10,12 @@ Commands
 * ``compare BENCH [BENCH...]`` — baseline vs Branch Runahead table
   (``--jobs`` runs cells through the parallel experiment runner).
 * ``bench`` — time the experiment matrix and emit a ``BENCH_run.json``
-  perf report; fails if the fast path drifts from the reference path.
+  perf report; fails if the fast path drifts from the reference path
+  (``--strict`` also fails on committed-baseline throughput warnings).
+* ``baseline record`` / ``baseline check`` — write, then tolerance-gate,
+  one committed JSON regression baseline per benchmark (``baselines/``).
+* ``trend`` — per-pass/per-cell trajectory over the ``BENCH_*.json``
+  family; ``--fail-on-regression`` gates on the best recorded run.
 * ``stats BENCH`` — dump the full unified stat registry as JSON.
 * ``trace BENCH`` — capture a pipeline event trace (Chrome/JSONL).
 * ``chains BENCH`` — show the dependence chains extracted for a benchmark.
@@ -35,6 +40,8 @@ from typing import List, Optional
 
 from repro.config import RunConfig, ResolvedConfig, resolve_config
 from repro.core.config import UARCH_CONFIGS
+from repro.observe import baseline as observe_baseline
+from repro.observe import trend as observe_trend
 from repro.predictors.registry import PREDICTORS
 from repro.sim import bench, experiments
 from repro.sim.results import ipc_improvement, mpki_improvement
@@ -141,6 +148,81 @@ def _build_parser() -> argparse.ArgumentParser:
     bench_cmd.add_argument("--baseline", default=None, metavar="PATH",
                            help="committed report (e.g. BENCH_seed.json) "
                            "to diff uops/sec against, warn-only")
+    bench_cmd.add_argument("--strict", action="store_true",
+                           help="promote --baseline throughput warnings "
+                           "(and an unreadable baseline) to a nonzero "
+                           "exit")
+    bench_cmd.add_argument("--baseline-tolerance", type=float,
+                           default=None, metavar="FRACTION",
+                           help="relative throughput drop tolerated "
+                           "against --baseline (default: "
+                           f"{bench.BASELINE_WARN_FRACTION})")
+
+    def add_matrix_args(p):
+        p.add_argument("--quick", action="store_true",
+                       help="CI smoke matrix (same cells as bench "
+                       "--quick)")
+        p.add_argument("--benchmarks", nargs="*", default=None,
+                       metavar="BENCH",
+                       help="benchmarks to cover (default: quick subset)")
+        p.add_argument("--variants", nargs="*", default=None,
+                       choices=sorted(variant_names()),
+                       help="variants per benchmark "
+                       "(default: quick subset)")
+        p.add_argument("--instructions", type=int, default=None)
+        p.add_argument("--warmup", type=int, default=None)
+        p.add_argument("--jobs", type=int, default=None,
+                       help="parallel worker processes "
+                       "(default: resolved config)")
+
+    baseline_cmd = sub.add_parser(
+        "baseline",
+        help="committed per-benchmark regression baselines")
+    baseline_sub = baseline_cmd.add_subparsers(dest="action",
+                                               required=True)
+    record_cmd = baseline_sub.add_parser(
+        "record",
+        help="run the matrix and write one baseline JSON per benchmark")
+    add_matrix_args(record_cmd)
+    record_cmd.add_argument("--dir", default=observe_baseline.BASELINE_DIR,
+                            help="baseline directory "
+                            "(default: baselines/)")
+    check_cmd = baseline_sub.add_parser(
+        "check",
+        help="re-run and tolerance-gate against committed baselines")
+    add_matrix_args(check_cmd)
+    check_cmd.add_argument("--dir", default=observe_baseline.BASELINE_DIR,
+                           help="baseline directory (default: baselines/)")
+    check_cmd.add_argument("--timing-tolerance", type=float,
+                           default=observe_baseline.
+                           DEFAULT_TIMING_TOLERANCE,
+                           help="relative host-timing slowdown band, "
+                           "warn-only (default: 1.0 = 100%%)")
+    check_cmd.add_argument("--json", action="store_true",
+                           help="emit the full check report as JSON")
+    check_cmd.add_argument("--github", action="store_true",
+                           help="emit GitHub ::error/::warning workflow "
+                           "annotations")
+    check_cmd.add_argument("--report", default=None, metavar="PATH",
+                           help="also write the JSON report to PATH")
+
+    trend_cmd = sub.add_parser(
+        "trend",
+        help="per-benchmark trajectory over the BENCH_*.json family")
+    trend_cmd.add_argument("reports", nargs="*", metavar="BENCH_JSON",
+                           help="bench reports oldest-first "
+                           "(default: ./BENCH_*.json sorted by name)")
+    trend_cmd.add_argument("--threshold", type=float,
+                           default=observe_trend.DEFAULT_THRESHOLD,
+                           help="relative drop vs the best recorded run "
+                           "that counts as a regression "
+                           "(default: 0.5)")
+    trend_cmd.add_argument("--fail-on-regression", action="store_true",
+                           help="exit nonzero when a pass regressed")
+    trend_cmd.add_argument("--json", action="store_true",
+                           help="emit the trend report as JSON")
+    trend_cmd.add_argument("--report", default=None, metavar="PATH",
+                           help="also write the JSON report to PATH")
 
     stats = sub.add_parser(
         "stats", help="dump the unified stat registry as JSON")
@@ -350,24 +432,107 @@ def _cmd_bench(args) -> int:
         return 1
     print(bench.format_report(report))
     print(f"report written to {args.out}")
+    baseline_failed = False
     if args.baseline:
         try:
             with open(args.baseline) as handle:
                 baseline_report = json.load(handle)
         except (OSError, ValueError) as error:
-            print(f"repro bench: warning: cannot read baseline "
+            severity = "error" if args.strict else "warning"
+            print(f"repro bench: {severity}: cannot read baseline "
                   f"{args.baseline}: {error}", file=sys.stderr)
+            baseline_failed = args.strict
         else:
-            warnings = bench.compare_to_baseline(report, baseline_report)
+            tolerance = args.baseline_tolerance \
+                if args.baseline_tolerance is not None \
+                else bench.BASELINE_WARN_FRACTION
+            warnings = bench.compare_to_baseline(report, baseline_report,
+                                                 fraction=tolerance)
+            severity = "error" if args.strict else "warning"
             for warning in warnings:
-                print(f"repro bench: warning: {warning}", file=sys.stderr)
+                print(f"repro bench: {severity}: {warning}",
+                      file=sys.stderr)
             if not warnings:
-                print(f"throughput within "
-                      f"{100 * bench.BASELINE_WARN_FRACTION:.0f}% of "
+                print(f"throughput within {100 * tolerance:.0f}% of "
                       f"{args.baseline}")
+            elif args.strict:
+                baseline_failed = True
     if not report["drift"]["ok"]:
         print("repro bench: error: fast-path results drifted from the "
               "reference path", file=sys.stderr)
+        return 1
+    return 1 if baseline_failed else 0
+
+
+def _matrix_kwargs(args) -> dict:
+    """Shared ``baseline record``/``check`` matrix selection."""
+    return dict(benchmarks=args.benchmarks, variants=args.variants,
+                instructions=args.instructions, warmup=args.warmup,
+                jobs=args.jobs, quick=args.quick)
+
+
+def _cmd_baseline(args) -> int:
+    if args.action == "record":
+        report = observe_baseline.record_baselines(
+            out_dir=args.dir, **_matrix_kwargs(args))
+        print(f"recorded {len(report['written'])} baseline(s) "
+              f"({len(report['variants'])} variant(s) each, "
+              f"{report['instructions']} instructions "
+              f"+{report['warmup']} warmup) under {args.dir}/")
+        for path in report["written"]:
+            print(f"  {path}")
+        return 0
+
+    report = observe_baseline.check_baselines(
+        baseline_dir=args.dir, timing_tolerance=args.timing_tolerance,
+        **_matrix_kwargs(args))
+    if args.report:
+        try:
+            with open(args.report, "w") as handle:
+                json.dump(report, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+        except OSError as error:
+            print(f"repro baseline: error: cannot write {args.report}: "
+                  f"{error}", file=sys.stderr)
+            return 1
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(observe_baseline.format_check_report(report))
+    if args.github:
+        for line in observe_baseline.github_annotations(report):
+            print(line)
+    return 0 if report["ok"] else 1
+
+
+def _cmd_trend(args) -> int:
+    paths = args.reports or observe_trend.default_report_paths()
+    if not paths:
+        print("repro trend: error: no BENCH_*.json reports found "
+              "(pass paths explicitly or run `repro bench` first)",
+              file=sys.stderr)
+        return 2
+    try:
+        entries = observe_trend.load_reports(paths)
+        trend = observe_trend.build_trend(entries,
+                                          threshold=args.threshold)
+    except ValueError as error:
+        print(f"repro trend: error: {error}", file=sys.stderr)
+        return 2
+    if args.report:
+        try:
+            with open(args.report, "w") as handle:
+                json.dump(trend, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+        except OSError as error:
+            print(f"repro trend: error: cannot write {args.report}: "
+                  f"{error}", file=sys.stderr)
+            return 1
+    if args.json:
+        print(json.dumps(trend, indent=2, sort_keys=True))
+    else:
+        print(observe_trend.format_trend_report(trend))
+    if args.fail_on_regression and not trend["ok"]:
         return 1
     return 0
 
@@ -436,6 +601,8 @@ COMMANDS = {
     "run": _cmd_run,
     "compare": _cmd_compare,
     "bench": _cmd_bench,
+    "baseline": _cmd_baseline,
+    "trend": _cmd_trend,
     "stats": _cmd_stats,
     "trace": _cmd_trace,
     "chains": _cmd_chains,

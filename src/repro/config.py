@@ -102,6 +102,19 @@ class RunConfig:
     def to_dict(self) -> Dict[str, Any]:
         return dataclasses.asdict(self)
 
+    def fingerprint(self) -> str:
+        """sha256 over the canonical JSON form: stable across processes.
+
+        Two configs hash equal iff they are equal, so the fingerprint is
+        usable as a content-address for baselines and run manifests — a
+        baseline recorded under one config is only comparable to a rerun
+        resolving to the same fingerprint.
+        """
+        import hashlib
+        canonical = json.dumps(self.to_dict(), sort_keys=True,
+                               separators=(",", ":"))
+        return hashlib.sha256(canonical.encode()).hexdigest()
+
     @classmethod
     def field_names(cls) -> Tuple[str, ...]:
         return tuple(f.name for f in dataclasses.fields(cls))

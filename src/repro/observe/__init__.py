@@ -1,0 +1,45 @@
+"""Regression observatory (``repro.observe``).
+
+The paper's headline claims are *deltas* — MPKI and IPC improvements of
+Branch Runahead over a TAGE-class baseline — so the reproduction is only
+trustworthy while those deltas stay pinned as the harness keeps getting
+rewritten.  This package turns the ad-hoc whole-suite drift gate into a
+per-benchmark regression observatory:
+
+* :mod:`repro.observe.manifest` — run manifests: resolved
+  :class:`~repro.config.RunConfig` fingerprint + provenance, git sha,
+  interpreter/platform, per-phase wall clock, peak RSS.  Every baseline
+  and bench report is stamped with one, so a number can always be traced
+  back to the exact configuration and host that produced it.
+* :mod:`repro.observe.baseline` — ``repro baseline record`` writes one
+  committed JSON baseline per benchmark (MPKI, IPC, chain coverage, key
+  ``StatRegistry`` counters, payload digest per variant);
+  ``repro baseline check`` re-runs and diffs against them under
+  per-metric tolerance bands (exact for digests/MPKI/IPC/counters,
+  percentage bands for host timings).
+* :mod:`repro.observe.trend` — ``repro trend`` ingests the growing
+  ``BENCH_*.json`` family and renders the per-pass/per-cell trajectory
+  across PRs, failing on throughput regressions against the best
+  recorded run.
+"""
+
+from repro.observe.manifest import (  # noqa: F401
+    MANIFEST_SCHEMA,
+    manifest_fingerprint,
+    run_manifest,
+)
+from repro.observe.baseline import (  # noqa: F401
+    BASELINE_DIR,
+    BASELINE_SCHEMA,
+    CHECK_SCHEMA,
+    check_baselines,
+    format_check_report,
+    github_annotations,
+    record_baselines,
+)
+from repro.observe.trend import (  # noqa: F401
+    TREND_SCHEMA,
+    build_trend,
+    format_trend_report,
+    load_reports,
+)

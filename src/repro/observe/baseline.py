@@ -1,0 +1,453 @@
+"""Per-benchmark regression baselines (``repro baseline record/check``).
+
+``record`` runs the benchmark x variant matrix once and writes **one JSON
+baseline file per benchmark** under ``baselines/`` — MPKI, IPC, chain
+coverage, a whitelist of key ``StatRegistry`` counters, and the
+deterministic payload digest per variant, plus aggregated per-phase host
+seconds and a run manifest (:mod:`repro.observe.manifest`).  The files
+are committed, so every future PR diffs against an explicit, reviewable
+per-benchmark contract instead of a single whole-suite sha256.
+
+``check`` re-runs the same matrix and compares under **per-metric
+tolerance bands**:
+
+* *deterministic metrics* — payload digest, MPKI, IPC, chain coverage,
+  counters — are compared **exactly**; the simulator is a pure function
+  of the program and configuration, so any drift is a behaviour change
+  and fails the check;
+* *host timings* — per-phase wall seconds — get a one-sided **relative
+  band** (default: a slowdown beyond 100% of the recorded time) and only
+  ever *warn*; shared CI runners are too noisy for wall-clock gating.
+
+A baseline recorded under different region parameters is not comparable;
+``check`` fails such a benchmark with a single ``region`` violation
+instead of drowning the report in spurious metric diffs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro import config as repro_config
+from repro.observe.manifest import run_manifest
+from repro.session import Session
+from repro.sim import bench
+
+BASELINE_SCHEMA = "repro-baseline-v1"
+CHECK_SCHEMA = "repro-baseline-check-v1"
+
+#: Default committed-baseline directory (repo root relative).
+BASELINE_DIR = "baselines"
+
+#: Flat ``StatRegistry`` counter names pinned per variant.  Chosen to
+#: localize a drift fast: region identity (instructions/cycles), the
+#: branch stream (cond_branches), both mispredict attributions, and the
+#: Branch Runahead engine's externally-visible work.
+KEY_COUNTERS = (
+    "core.instructions",
+    "core.cycles",
+    "core.fetch.cond_branches",
+    "core.fetch.mispredicts",
+    "predictor.lookups",
+    "predictor.mispredicts",
+    "runahead.chains_extracted",
+    "dce.uops_executed",
+    "dce.syncs",
+    "dce.chain_cache.installed",
+    "dce.chain_cache.covered_branches",
+)
+
+#: One-sided relative slowdown band for host timings (1.0 = 100%).
+DEFAULT_TIMING_TOLERANCE = 1.0
+
+
+@dataclass(frozen=True)
+class Tolerance:
+    """How one metric is allowed to move before it is reported.
+
+    ``mode`` is ``"exact"`` (any difference violates) or ``"relative"``
+    (one-sided: ``current > baseline * (1 + bound)`` violates — faster
+    never does).  ``severity`` decides whether a violation fails the
+    check (``"fail"``) or is informational (``"warn"``).
+    """
+
+    mode: str
+    bound: float = 0.0
+    severity: str = "fail"
+
+    def violates(self, baseline: float, current: float) -> bool:
+        if self.mode == "exact":
+            return baseline != current
+        if self.mode == "relative":
+            return current > baseline * (1.0 + self.bound)
+        raise ValueError(f"unknown tolerance mode {self.mode!r}")
+
+
+def tolerance_policy(timing_tolerance: float = DEFAULT_TIMING_TOLERANCE
+                     ) -> Dict[str, Tolerance]:
+    """The per-metric-category tolerance table ``check`` applies."""
+    return {
+        "digest": Tolerance("exact", severity="fail"),
+        "mpki": Tolerance("exact", severity="fail"),
+        "ipc": Tolerance("exact", severity="fail"),
+        "chain_coverage": Tolerance("exact", severity="fail"),
+        "counter": Tolerance("exact", severity="fail"),
+        "timing": Tolerance("relative", bound=timing_tolerance,
+                            severity="warn"),
+    }
+
+
+# -- stat extraction -------------------------------------------------------
+
+def flatten_stats(stats: dict, prefix: str = "") -> Dict[str, float]:
+    """Flatten a nested ``StatRegistry.to_dict`` tree to scalar leaves.
+
+    Histogram leaves (dicts carrying ``count``/``mean``) contribute their
+    ``count`` under ``<name>.count``; scope dicts recurse.
+    """
+    flat: Dict[str, float] = {}
+    for name, value in stats.items():
+        key = f"{prefix}{name}"
+        if isinstance(value, dict):
+            if "count" in value and "mean" in value:
+                flat[f"{key}.count"] = value["count"]
+            else:
+                flat.update(flatten_stats(value, prefix=f"{key}."))
+        elif isinstance(value, (int, float)) \
+                and not isinstance(value, bool):
+            flat[key] = value
+    return flat
+
+
+def chain_coverage(flat: Dict[str, float]) -> Optional[float]:
+    """Fraction of static conditional branches covered by chains.
+
+    None for predictor-only variants (no Branch Runahead attached, so
+    there is no chain cache to measure).
+    """
+    covered = flat.get("dce.chain_cache.covered_branches")
+    static = flat.get("core.branches.static_cond")
+    if covered is None or not static:
+        return None
+    return covered / static
+
+
+def _variant_entry(payload: dict) -> dict:
+    """One variant's pinned metrics from its result payload."""
+    flat = flatten_stats(payload.get("stats", {}))
+    counters = {name: flat[name] for name in KEY_COUNTERS if name in flat}
+    return {
+        "mpki": payload["mpki"],
+        "ipc": payload["ipc"],
+        "chain_coverage": chain_coverage(flat),
+        "digest": bench.payload_digest(payload),
+        "counters": counters,
+    }
+
+
+def _timing_totals(payloads: List[dict]) -> Dict[str, float]:
+    """Aggregate ``host.phase.*_seconds`` across one benchmark's cells."""
+    return bench._phase_seconds(payloads)
+
+
+# -- matrix execution ------------------------------------------------------
+
+def _run_matrix(benchmarks: Optional[List[str]],
+                variants: Optional[List[str]],
+                instructions: Optional[int],
+                warmup: Optional[int],
+                jobs: Optional[int],
+                quick: bool,
+                session: Optional[Session]
+                ) -> Tuple[List[str], List[str], int, int,
+                           Dict[str, List[Tuple[str, dict]]], Session]:
+    """Run the baseline matrix; returns per-benchmark (variant, payload)s.
+
+    ``quick`` selects the CI smoke matrix exactly like ``repro bench
+    --quick`` so the committed baselines and the bench trajectory cover
+    the same cells.  A fresh :class:`~repro.session.Session` is built
+    unless the caller supplies one (cells still bypass its result cache —
+    a baseline must price real runs, not cache hits).
+    """
+    if quick:
+        benchmarks = benchmarks or bench.QUICK_BENCHMARKS
+        variants = variants or bench.QUICK_VARIANTS
+        instructions = instructions or bench.QUICK_INSTRUCTIONS
+        warmup = warmup if warmup is not None else bench.QUICK_WARMUP
+    run_config = repro_config.current_config()
+    benchmarks = list(benchmarks or bench.QUICK_BENCHMARKS)
+    variants = list(variants or bench.QUICK_VARIANTS)
+    instructions = instructions or run_config.instructions
+    warmup = warmup if warmup is not None else run_config.warmup
+    jobs = repro_config.resolve_jobs(jobs)
+    if session is None:
+        session = Session(run_config.replace(instructions=instructions,
+                                             warmup=warmup, jobs=jobs))
+    cells = [(benchmark, variant) for benchmark in benchmarks
+             for variant in variants]
+    rows = session.run_cells(cells, instructions=instructions,
+                             warmup=warmup, jobs=jobs, cache=False,
+                             chunksize=max(1, len(variants)))
+    per_benchmark: Dict[str, List[Tuple[str, dict]]] = {
+        name: [] for name in benchmarks}
+    for row in rows:
+        per_benchmark[row["benchmark"]].append(
+            (row["variant"], row["payload"]))
+    return (benchmarks, variants, instructions, warmup, per_benchmark,
+            session)
+
+
+def benchmark_document(benchmark: str, instructions: int, warmup: int,
+                       variant_payloads: List[Tuple[str, dict]],
+                       manifest: dict) -> dict:
+    """The committed per-benchmark baseline document."""
+    payloads = [payload for _, payload in variant_payloads]
+    return {
+        "schema": BASELINE_SCHEMA,
+        "benchmark": benchmark,
+        "instructions": instructions,
+        "warmup": warmup,
+        "variants": {variant: _variant_entry(payload)
+                     for variant, payload in variant_payloads},
+        "host_phase_seconds": _timing_totals(payloads),
+        "manifest": manifest,
+    }
+
+
+def baseline_path(out_dir: str, benchmark: str) -> str:
+    return os.path.join(out_dir, f"{benchmark}.json")
+
+
+def record_baselines(benchmarks: Optional[List[str]] = None,
+                     variants: Optional[List[str]] = None,
+                     instructions: Optional[int] = None,
+                     warmup: Optional[int] = None,
+                     jobs: Optional[int] = None,
+                     quick: bool = False,
+                     out_dir: str = BASELINE_DIR,
+                     session: Optional[Session] = None) -> dict:
+    """Run the matrix and write one baseline file per benchmark.
+
+    Returns a summary report (``written`` paths plus the stamped
+    manifest).  Files are written with sorted keys and a trailing
+    newline, so identical reruns under a fixed config are byte-identical
+    up to the ``host`` manifest section.
+    """
+    (benchmarks, variants, instructions, warmup, per_benchmark,
+     session) = _run_matrix(benchmarks, variants, instructions, warmup,
+                            jobs, quick, session)
+    os.makedirs(out_dir, exist_ok=True)
+    written: List[str] = []
+    for benchmark in benchmarks:
+        payloads = [payload for _, payload in per_benchmark[benchmark]]
+        manifest = run_manifest(session.config,
+                                phase_seconds=_timing_totals(payloads))
+        document = benchmark_document(benchmark, instructions, warmup,
+                                      per_benchmark[benchmark], manifest)
+        path = baseline_path(out_dir, benchmark)
+        with open(path, "w") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        written.append(path)
+    return {
+        "schema": BASELINE_SCHEMA,
+        "written": written,
+        "benchmarks": benchmarks,
+        "variants": variants,
+        "instructions": instructions,
+        "warmup": warmup,
+        "manifest": run_manifest(session.config),
+    }
+
+
+# -- checking --------------------------------------------------------------
+
+def _violation(benchmark: str, variant: Optional[str], metric: str,
+               category: str, baseline_value, current_value,
+               tolerance: Tolerance) -> dict:
+    return {
+        "benchmark": benchmark,
+        "variant": variant,
+        "metric": metric,
+        "category": category,
+        "baseline": baseline_value,
+        "current": current_value,
+        "tolerance": {"mode": tolerance.mode, "bound": tolerance.bound},
+        "severity": tolerance.severity,
+    }
+
+
+def _check_benchmark(benchmark: str, document: dict,
+                     variant_payloads: List[Tuple[str, dict]],
+                     instructions: int, warmup: int,
+                     policy: Dict[str, Tolerance]) -> List[dict]:
+    """Diff one benchmark's rerun against its committed document."""
+    findings: List[dict] = []
+    if (document.get("instructions"), document.get("warmup")) != \
+            (instructions, warmup):
+        region = Tolerance("exact", severity="fail")
+        findings.append(_violation(
+            benchmark, None, "region", "region",
+            {"instructions": document.get("instructions"),
+             "warmup": document.get("warmup")},
+            {"instructions": instructions, "warmup": warmup}, region))
+        return findings  # every metric diff would be spurious noise
+
+    recorded = document.get("variants", {})
+    for variant, payload in variant_payloads:
+        base = recorded.get(variant)
+        if base is None:
+            missing = Tolerance("exact", severity="fail")
+            findings.append(_violation(benchmark, variant, "variant",
+                                       "missing", None, "present",
+                                       missing))
+            continue
+        current = _variant_entry(payload)
+        for metric, category in (("digest", "digest"), ("mpki", "mpki"),
+                                 ("ipc", "ipc"),
+                                 ("chain_coverage", "chain_coverage")):
+            tolerance = policy[category]
+            if tolerance.violates(base.get(metric), current[metric]):
+                findings.append(_violation(
+                    benchmark, variant, metric, category,
+                    base.get(metric), current[metric], tolerance))
+        tolerance = policy["counter"]
+        base_counters = base.get("counters", {})
+        for name in sorted(set(base_counters) | set(current["counters"])):
+            recorded_value = base_counters.get(name)
+            current_value = current["counters"].get(name)
+            if tolerance.violates(recorded_value, current_value):
+                findings.append(_violation(
+                    benchmark, variant, f"counters.{name}", "counter",
+                    recorded_value, current_value, tolerance))
+
+    tolerance = policy["timing"]
+    payloads = [payload for _, payload in variant_payloads]
+    current_timings = _timing_totals(payloads)
+    for phase, recorded_seconds in sorted(
+            document.get("host_phase_seconds", {}).items()):
+        current_seconds = current_timings.get(phase)
+        if current_seconds is None:
+            continue
+        if tolerance.violates(recorded_seconds, current_seconds):
+            findings.append(_violation(
+                benchmark, None, f"host_phase_seconds.{phase}", "timing",
+                recorded_seconds, current_seconds, tolerance))
+    return findings
+
+
+def check_baselines(benchmarks: Optional[List[str]] = None,
+                    variants: Optional[List[str]] = None,
+                    instructions: Optional[int] = None,
+                    warmup: Optional[int] = None,
+                    jobs: Optional[int] = None,
+                    quick: bool = False,
+                    baseline_dir: str = BASELINE_DIR,
+                    timing_tolerance: float = DEFAULT_TIMING_TOLERANCE,
+                    session: Optional[Session] = None) -> dict:
+    """Re-run the matrix and diff against the committed baselines.
+
+    The report's ``ok`` is False iff a fail-severity violation (or a
+    missing baseline file) was found; timing-band violations are
+    surfaced under ``warnings`` and never gate.
+    """
+    policy = tolerance_policy(timing_tolerance)
+    (benchmarks, variants, instructions, warmup, per_benchmark,
+     session) = _run_matrix(benchmarks, variants, instructions, warmup,
+                            jobs, quick, session)
+    violations: List[dict] = []
+    warnings: List[dict] = []
+    missing: List[str] = []
+    checked: List[str] = []
+    for benchmark in benchmarks:
+        path = baseline_path(baseline_dir, benchmark)
+        try:
+            with open(path) as handle:
+                document = json.load(handle)
+        except (OSError, ValueError):
+            missing.append(benchmark)
+            continue
+        checked.append(benchmark)
+        for finding in _check_benchmark(benchmark, document,
+                                        per_benchmark[benchmark],
+                                        instructions, warmup, policy):
+            if finding["severity"] == "fail":
+                violations.append(finding)
+            else:
+                warnings.append(finding)
+    return {
+        "schema": CHECK_SCHEMA,
+        "ok": not violations and not missing,
+        "baseline_dir": baseline_dir,
+        "benchmarks": benchmarks,
+        "variants": variants,
+        "instructions": instructions,
+        "warmup": warmup,
+        "checked": checked,
+        "missing_baselines": missing,
+        "violations": violations,
+        "warnings": warnings,
+        "manifest": run_manifest(session.config),
+    }
+
+
+# -- reporting -------------------------------------------------------------
+
+def _describe(finding: dict) -> str:
+    where = finding["benchmark"]
+    if finding["variant"]:
+        where += f"/{finding['variant']}"
+    return (f"{where}: {finding['metric']} {finding['baseline']!r} -> "
+            f"{finding['current']!r} ({finding['category']}, "
+            f"{finding['tolerance']['mode']} tolerance)")
+
+
+def format_check_report(report: dict) -> str:
+    """Human-readable ``repro baseline check`` summary."""
+    lines = [
+        f"baseline check: {len(report['checked'])} benchmark(s) x "
+        f"{len(report['variants'])} variant(s), "
+        f"{report['instructions']} instructions (+{report['warmup']} "
+        f"warmup) vs {report['baseline_dir']}/",
+    ]
+    for benchmark in report["missing_baselines"]:
+        lines.append(f"  MISSING  {benchmark}: no committed baseline "
+                     f"(run `repro baseline record`)")
+    for finding in report["violations"]:
+        lines.append(f"  FAIL     {_describe(finding)}")
+    for finding in report["warnings"]:
+        lines.append(f"  warn     {_describe(finding)}")
+    if report["ok"]:
+        suffix = f" ({len(report['warnings'])} timing warning(s))" \
+            if report["warnings"] else ""
+        lines.append(f"  ok: all metrics within tolerance{suffix}")
+    else:
+        lines.append(
+            f"  FAILED: {len(report['violations'])} violation(s), "
+            f"{len(report['missing_baselines'])} missing baseline(s)")
+    return "\n".join(lines)
+
+
+def github_annotations(report: dict) -> List[str]:
+    """``::error``/``::warning`` workflow-command lines for CI logs."""
+    annotations: List[str] = []
+    for benchmark in report["missing_baselines"]:
+        annotations.append(
+            f"::error title=Missing baseline::{benchmark} has no "
+            f"committed baseline under {report['baseline_dir']}/")
+    for finding in report["violations"]:
+        path = baseline_path(report["baseline_dir"],
+                             finding["benchmark"])
+        annotations.append(f"::error file={path},"
+                           f"title=Baseline regression::"
+                           f"{_describe(finding)}")
+    for finding in report["warnings"]:
+        path = baseline_path(report["baseline_dir"],
+                             finding["benchmark"])
+        annotations.append(f"::warning file={path},"
+                           f"title=Baseline timing drift::"
+                           f"{_describe(finding)}")
+    return annotations

@@ -1,0 +1,207 @@
+"""BENCH trajectory trend report (``repro trend``).
+
+Every PR since the fast-path work has written a ``BENCH_*.json`` perf
+report (schema ``repro-bench-v2`` onwards), but nothing ever *read* the
+family — the trajectory was collected and dropped.  This module closes
+the loop: :func:`load_reports` ingests any mix of bench reports (older
+schemas load fine; manifest-stamped v3 reports additionally carry
+provenance), :func:`build_trend` renders the per-pass and per-cell
+trajectory across them, and ``--fail-on-regression`` turns the report
+into a gate.
+
+Comparability: throughput numbers only mean something against the same
+matrix, so reports are only trended against the **latest** report's cell
+matrix (benchmarks x variants x region).  Non-comparable reports still
+appear in the listing — flagged, excluded from the regression math.
+
+The regression rule is per pass: the latest report's uops/sec against
+the **best comparable recorded run**.  Falling more than ``threshold``
+below the best (default 50% — shared-runner noise swamps anything
+tighter) is a regression.  Per-cell payload digests are tracked across
+reports too; a digest change between comparable reports means simulated
+*behaviour* changed and is reported per cell (informational — the
+baseline check owns exact-result gating).
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+from typing import Dict, List, Optional, Sequence
+
+TREND_SCHEMA = "repro-trend-v1"
+
+#: Relative throughput drop vs the best recorded run that counts as a
+#: regression (0.5 = latest below 50% of best).
+DEFAULT_THRESHOLD = 0.5
+
+#: Passes whose ``uops_per_second`` is trended.
+THROUGHPUT_PASSES = ("baseline", "optimized")
+
+
+def default_report_paths(directory: str = ".") -> List[str]:
+    """The ``BENCH_*.json`` family in ``directory``, sorted by name."""
+    return sorted(glob.glob(os.path.join(directory, "BENCH_*.json")))
+
+
+def load_reports(paths: Sequence[str]) -> List[dict]:
+    """Load bench reports, oldest first (input order is history order).
+
+    Returns ``{"path", "report"}`` rows.  A file that is unreadable or
+    not a bench report raises ``ValueError`` — a trend over silently
+    dropped history would claim more than it checked.
+    """
+    rows: List[dict] = []
+    for path in paths:
+        try:
+            with open(path) as handle:
+                report = json.load(handle)
+        except (OSError, ValueError) as error:
+            raise ValueError(f"cannot load bench report {path}: {error}") \
+                from None
+        schema = report.get("schema", "")
+        if not str(schema).startswith("repro-bench-"):
+            raise ValueError(
+                f"{path} is not a bench report (schema {schema!r})")
+        rows.append({"path": path, "report": report})
+    return rows
+
+
+def _matrix_key(report: dict) -> tuple:
+    """The comparability key: same cells, same region, same worker count
+    is *not* required (jobs changes wall clock fairly)."""
+    return (tuple(report.get("benchmarks", ())),
+            tuple(report.get("variants", ())),
+            report.get("instructions"), report.get("warmup"))
+
+
+def _report_row(entry: dict, comparable: bool) -> dict:
+    report = entry["report"]
+    manifest = report.get("manifest") or {}
+    host = manifest.get("host") or {}
+    return {
+        "path": entry["path"],
+        "schema": report.get("schema"),
+        "cells": report.get("cells"),
+        "jobs": report.get("jobs"),
+        "instructions": report.get("instructions"),
+        "warmup": report.get("warmup"),
+        "comparable": comparable,
+        "git_sha": host.get("git_sha"),
+        "config_fingerprint": manifest.get("config_fingerprint"),
+        "throughput": {
+            name: (report.get(name) or {}).get("uops_per_second")
+            for name in THROUGHPUT_PASSES},
+        "mpki_replay_speedup":
+            (report.get("mpki_replay") or {}).get("speedup"),
+    }
+
+
+def build_trend(entries: List[dict],
+                threshold: float = DEFAULT_THRESHOLD) -> dict:
+    """The trajectory document over ``entries`` (oldest first)."""
+    if not entries:
+        raise ValueError("no bench reports to trend")
+    latest = entries[-1]
+    latest_key = _matrix_key(latest["report"])
+    rows = [_report_row(entry,
+                        _matrix_key(entry["report"]) == latest_key)
+            for entry in entries]
+    comparable = [row for row in rows if row["comparable"]]
+
+    passes: Dict[str, dict] = {}
+    regressions: List[str] = []
+    for name in THROUGHPUT_PASSES:
+        series = [{"path": row["path"],
+                   "uops_per_second": row["throughput"][name]}
+                  for row in comparable
+                  if row["throughput"][name]]
+        if not series:
+            continue
+        best = max(series, key=lambda point: point["uops_per_second"])
+        current = series[-1]["uops_per_second"]
+        ratio = current / best["uops_per_second"]
+        regressed = ratio < 1.0 - threshold
+        passes[name] = {
+            "series": series,
+            "best": best,
+            "latest": current,
+            "ratio_to_best": round(ratio, 4),
+            "regressed": regressed,
+        }
+        if regressed:
+            regressions.append(
+                f"{name}: latest {current:,} uops/s is "
+                f"{100 * (1 - ratio):.0f}% below the best recorded "
+                f"{best['uops_per_second']:,} uops/s "
+                f"({best['path']})")
+
+    # per-cell digest trajectory across comparable reports
+    cells: Dict[str, dict] = {}
+    for row, entry in zip(rows, entries):
+        if not row["comparable"]:
+            continue
+        for cell, digest in sorted(
+                (entry["report"].get("digests") or {}).items()):
+            track = cells.setdefault(cell, {"digests": [], "changed": False})
+            if not track["digests"] or \
+                    track["digests"][-1]["digest"] != digest:
+                if track["digests"]:
+                    track["changed"] = True
+                track["digests"].append({"path": row["path"],
+                                         "digest": digest})
+    changed_cells = sorted(cell for cell, track in cells.items()
+                           if track["changed"])
+
+    return {
+        "schema": TREND_SCHEMA,
+        "threshold": threshold,
+        "reports": rows,
+        "passes": passes,
+        "cells": cells,
+        "changed_cells": changed_cells,
+        "regressions": regressions,
+        "ok": not regressions,
+    }
+
+
+def format_trend_report(trend: dict) -> str:
+    """Human-readable per-pass/per-report trajectory table."""
+    lines = [f"bench trajectory: {len(trend['reports'])} report(s), "
+             f"regression threshold "
+             f"{100 * trend['threshold']:.0f}% below best"]
+    header = (f"  {'report':32s} {'cells':>5s} {'jobs':>4s} "
+              + "".join(f"{name:>12s}" for name in THROUGHPUT_PASSES)
+              + f" {'replay':>8s}  note")
+    lines.append(header)
+    for row in trend["reports"]:
+        name = os.path.basename(row["path"])
+        line = (f"  {name:32s} "
+                f"{row['cells'] if row['cells'] is not None else '?':>5} "
+                f"{row['jobs'] if row['jobs'] is not None else '?':>4}")
+        for pass_name in THROUGHPUT_PASSES:
+            value = row["throughput"][pass_name]
+            line += f"{value:>12,}" if value else f"{'-':>12s}"
+        speedup = row["mpki_replay_speedup"]
+        line += f"{speedup:>7.2f}x" if speedup else f"{'-':>8s}"
+        note = "" if row["comparable"] else "different matrix (excluded)"
+        if row["git_sha"]:
+            note = (note + " " if note else "") + f"@{row['git_sha'][:10]}"
+        lines.append(line + ("  " + note if note else ""))
+    for name, data in trend["passes"].items():
+        marker = "REGRESSED" if data["regressed"] else "ok"
+        lines.append(
+            f"  {name}: latest {data['latest']:,} uops/s, "
+            f"best {data['best']['uops_per_second']:,} "
+            f"({os.path.basename(data['best']['path'])}), "
+            f"ratio {data['ratio_to_best']:.2f} [{marker}]")
+    if trend["changed_cells"]:
+        lines.append("  result digests changed in: "
+                     + ", ".join(trend["changed_cells"]))
+    if trend["regressions"]:
+        for regression in trend["regressions"]:
+            lines.append(f"  REGRESSION: {regression}")
+    else:
+        lines.append("  no throughput regressions vs best recorded run")
+    return "\n".join(lines)

@@ -121,14 +121,17 @@ class Session:
             br_overrides: Optional[dict] = None,
             cache: bool = True,
             trace_cache: Optional[TraceCache] = None,
-            outputs: str = "full") -> SimulationResult:
+            outputs: str = "full",
+            merge: bool = False) -> SimulationResult:
         """Run (or fetch from cache) one benchmark under one variant.
 
         ``br_overrides`` tweaks the variant's BranchRunaheadConfig (used
         by the Figure 13 sweeps); overridden runs are cached under their
         own key.  ``cache=False`` bypasses the result cache entirely — no
         lookup, no store.  ``trace_cache`` defaults to the session's
-        shared instance.
+        shared instance.  ``merge=True`` folds a freshly computed cell's
+        registry into the session-wide :attr:`registry` (cache hits were
+        already folded when first computed, so they are not re-merged).
 
         ``outputs="mpki"`` declares that only branch-outcome statistics
         are wanted: predictor-only cells then take the
@@ -175,6 +178,8 @@ class Session:
             result = simulate(program, instructions=instructions,
                               warmup=warmup, trace_cache=region_cache,
                               **kwargs)
+        if merge:
+            self.registry.merge(result.build_registry())
         if cache:
             self._cache_put(key, result)
         return result
@@ -183,6 +188,76 @@ class Session:
         """Run a variant over the benchmark list; returns {name: result}."""
         names = benchmarks or suite.BENCHMARK_NAMES
         return {name: self.run(name, variant, **kwargs) for name in names}
+
+    # -- direct entry points (notebook / service callers) ------------------
+
+    def simulate(self, benchmark, cache: bool = True,
+                 **kwargs) -> SimulationResult:
+        """Cache-sharing :func:`~repro.sim.simulator.simulate` entry.
+
+        ``benchmark`` is a registered name or a ``Program``; region
+        bounds default to the session config and the session's trace
+        cache is always attached — a notebook or service caller gets the
+        same one-emulation-per-region behaviour as ``run`` without going
+        through variant tokens.  Component kwargs (``predictor``,
+        ``br_config``) pass through; results are memoized in the result
+        cache when every kwarg is a plain hashable value (registry-name
+        strings, numbers), and computed fresh otherwise (component
+        *instances* carry state the cache must not alias, and a
+        ``tracer`` must observe a live run).
+        """
+        name = benchmark if isinstance(benchmark, str) else \
+            getattr(benchmark, "name", None)
+        program = suite.load(benchmark) if isinstance(benchmark, str) \
+            else benchmark
+        if kwargs.get("instructions") is None:
+            kwargs["instructions"] = self.config.instructions
+        if kwargs.get("warmup") is None:
+            kwargs["warmup"] = self.config.warmup
+        key = None
+        if cache and name is not None and all(
+                isinstance(value, (str, int, float, bool, type(None)))
+                for value in kwargs.values()):
+            key = (name, "simulate", tuple(sorted(kwargs.items())))
+            cached = self._cache_get(key)
+            if cached is not None:
+                return cached
+        result = simulate(program, trace_cache=self.trace_cache, **kwargs)
+        if key is not None:
+            self._cache_put(key, result)
+        return result
+
+    def replay_mpki(self, benchmark: str, predictor,
+                    instructions: Optional[int] = None,
+                    warmup: Optional[int] = None,
+                    cache: bool = True):
+        """MPKI-only replay through this session's trace cache.
+
+        With a registered predictor *name* this is exactly
+        ``run(benchmark, name, outputs="mpki")`` — same fast path, same
+        result cache, bit-identical MPKI.  A predictor *instance* (whose
+        state the caller owns) replays uncached against the shared trace
+        cache.
+        """
+        if isinstance(predictor, str):
+            return self.run(benchmark, predictor,
+                            instructions=instructions, warmup=warmup,
+                            cache=cache, outputs="mpki")
+        program = suite.load(benchmark)
+        return replay_mpki(
+            program, predictor,
+            instructions=instructions or self.config.instructions,
+            warmup=warmup if warmup is not None else self.config.warmup,
+            trace_cache=self.trace_cache)
+
+    def manifest(self, phase_seconds=None) -> dict:
+        """This session's run manifest (see :mod:`repro.observe.manifest`).
+
+        Stamped onto baselines and bench reports produced under this
+        session; the config fingerprint inside is the comparability key.
+        """
+        from repro.observe.manifest import run_manifest
+        return run_manifest(self.config, phase_seconds=phase_seconds)
 
     # -- parallel matrix ---------------------------------------------------
 

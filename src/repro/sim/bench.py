@@ -17,9 +17,12 @@ result payloads (host wall-clock timings excluded) — the harness hashes
 every cell and **fails on drift**, making it a correctness gate as well as
 a perf report.  The replay pass reports no cycles by construction, so its
 gate is exact MPKI equality against the baseline documents.  The report is
-written as ``BENCH_run.json`` (schema ``repro-bench-v2``) so CI can archive
-a history of simulator throughput; :func:`compare_to_baseline` diffs a
-fresh report against a committed one (``BENCH_seed.json``) warn-only.
+written as ``BENCH_run.json`` (schema ``repro-bench-v3``, stamped with a
+:mod:`repro.observe.manifest` run manifest) so CI can archive a history of
+simulator throughput; :func:`compare_to_baseline` diffs a fresh report
+against a committed one (``BENCH_seed.json``) — warn-only by default,
+promoted to a hard failure by ``repro bench --strict`` — and ``repro
+trend`` renders the whole ``BENCH_*.json`` trajectory.
 
 Numbers reported per pass: end-to-end wall seconds, committed uops/sec
 (region length x cells / wall), aggregated per-phase host seconds from the
@@ -34,12 +37,13 @@ import time
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro import config as repro_config
+from repro.observe.manifest import run_manifest
 from repro.session import Session
 from repro.sim import experiments
 from repro.sim.simulator import simulate
 from repro.workloads import suite
 
-SCHEMA = "repro-bench-v2"
+SCHEMA = "repro-bench-v3"
 
 #: ``compare_to_baseline``: relative uops/sec regression that triggers a
 #: warning.  Warn-only — shared CI runners are too noisy for a hard gate.
@@ -208,8 +212,12 @@ def run_bench(benchmarks: Optional[List[str]] = None,
     mismatched.extend(f"{name} (mpki)" for name in mpki_mismatched)
 
     speedup = baseline_wall / optimized_wall if optimized_wall > 0 else None
+    pass_walls = {"baseline": baseline_wall, "optimized": optimized_wall}
+    if mpki_report:
+        pass_walls["mpki_replay"] = mpki_report["wall_seconds"]
     return {
         "schema": SCHEMA,
+        "manifest": run_manifest(run_config, phase_seconds=pass_walls),
         "quick": quick,
         "benchmarks": benchmarks,
         "variants": variants,
@@ -272,14 +280,21 @@ def format_report(report: dict) -> str:
     return "\n".join(lines)
 
 
-def compare_to_baseline(report: dict, baseline_report: dict) -> List[str]:
-    """Warn-only throughput diff against a committed report.
+def compare_to_baseline(report: dict, baseline_report: dict,
+                        fraction: Optional[float] = None) -> List[str]:
+    """Throughput diff against a committed report.
 
-    Returns human-readable warnings for every pass whose uops/sec fell more
-    than ``BASELINE_WARN_FRACTION`` below the committed report's number.
-    Never raises on shape differences — a baseline from an older schema
-    simply contributes no warnings for the missing passes.
+    Returns human-readable warnings for every pass whose uops/sec fell
+    more than ``fraction`` (default ``BASELINE_WARN_FRACTION``) below the
+    committed report's number.  Warn-only at the call sites by default —
+    shared runners are noisy — but ``repro bench --strict`` promotes the
+    result to a hard failure, with ``--baseline-tolerance`` widening the
+    band to what the runner fleet actually sustains.  Never raises on
+    shape differences — a baseline from an older schema simply
+    contributes no warnings for the missing passes.
     """
+    if fraction is None:
+        fraction = BASELINE_WARN_FRACTION
     warnings: List[str] = []
     for pass_name in ("baseline", "optimized"):
         current = report.get(pass_name, {}).get("uops_per_second")
@@ -288,7 +303,7 @@ def compare_to_baseline(report: dict, baseline_report: dict) -> List[str]:
         if not current or not committed:
             continue
         ratio = current / committed
-        if ratio < 1.0 - BASELINE_WARN_FRACTION:
+        if ratio < 1.0 - fraction:
             warnings.append(
                 f"{pass_name} throughput {current:,} uops/s is "
                 f"{100 * (1 - ratio):.0f}% below the committed baseline "
@@ -298,7 +313,7 @@ def compare_to_baseline(report: dict, baseline_report: dict) -> List[str]:
         "speedup")
     if current_speedup and committed_speedup:
         ratio = current_speedup / committed_speedup
-        if ratio < 1.0 - BASELINE_WARN_FRACTION:
+        if ratio < 1.0 - fraction:
             warnings.append(
                 f"mpki_replay speedup {current_speedup:.2f}x is "
                 f"{100 * (1 - ratio):.0f}% below the committed baseline "

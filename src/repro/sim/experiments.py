@@ -117,6 +117,21 @@ def run_matrix(variants: Optional[Iterable[str]] = None,
         merged=merged)
 
 
+def simulate(benchmark, **kwargs) -> SimulationResult:
+    """Cache-sharing simulate in the default session.
+
+    See :meth:`Session.simulate` — notebook callers get trace-cache and
+    result-cache sharing without building a session or going through
+    variant tokens.
+    """
+    return default_session().simulate(benchmark, **kwargs)
+
+
+def replay_mpki(benchmark: str, predictor, **kwargs):
+    """MPKI-only replay in the default session (:meth:`Session.replay_mpki`)."""
+    return default_session().replay_mpki(benchmark, predictor, **kwargs)
+
+
 def _run_cell(task: Tuple) -> dict:
     """Legacy alias for the worker entry point (moved to repro.session)."""
     return _session._run_cell(task)

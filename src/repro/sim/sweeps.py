@@ -4,14 +4,20 @@ Each sweep varies one Branch Runahead structure from the Mini configuration
 up to the Big configuration and reports MPKI improvement *relative to
 Mini*, isolating that parameter's contribution.  The paper ran sweeps on
 shorter regions (10M vs 200M instructions); we do the same proportionally.
+
+Sweeps run through an explicit :class:`~repro.session.Session` — pass one
+to share trace/result caches with other work (the figure benches hand in
+their shared per-pytest-session instance); the default is the process-wide
+default session.  Every sweep cell reports into the session's merged
+:attr:`~repro.session.Session.registry` via ``run(merge=True)``.
 """
 
 from __future__ import annotations
 
 import os
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
-from repro.sim import experiments
+from repro.session import Session, default_session
 from repro.sim.results import arithmetic_mean, mpki_improvement
 
 #: Figure 13's six swept parameters and their value ladders
@@ -31,13 +37,22 @@ SWEEP_WARMUP = int(os.environ.get("REPRO_SWEEP_WARMUP", "4000"))
 
 
 def sweep_parameter(parameter: str, benchmarks: Sequence[str],
-                    values: Sequence = None) -> Dict[object, float]:
-    """Mean MPKI improvement vs Mini for each value of ``parameter``."""
+                    values: Sequence = None,
+                    session: Optional[Session] = None
+                    ) -> Dict[object, float]:
+    """Mean MPKI improvement vs Mini for each value of ``parameter``.
+
+    ``session`` carries the caches and merged stat registry the sweep
+    runs under; the Mini reference runs once per benchmark and is shared
+    (via the session's result cache) with every other sweep using the
+    same session.
+    """
+    session = session if session is not None else default_session()
     values = values if values is not None else SWEEPS[parameter]
     reference = {
-        name: experiments.run(name, "mini",
-                              instructions=SWEEP_INSTRUCTIONS,
-                              warmup=SWEEP_WARMUP)
+        name: session.run(name, "mini",
+                          instructions=SWEEP_INSTRUCTIONS,
+                          warmup=SWEEP_WARMUP, merge=True)
         for name in benchmarks
     }
     series: Dict[object, float] = {}
@@ -49,11 +64,11 @@ def sweep_parameter(parameter: str, benchmarks: Sequence[str],
             overrides["runahead_limit"] = min(int(value), 32)
         improvements = []
         for name in benchmarks:
-            result = experiments.run(
+            result = session.run(
                 name, "mini",
                 instructions=SWEEP_INSTRUCTIONS,
                 warmup=SWEEP_WARMUP,
-                br_overrides=overrides)
+                br_overrides=overrides, merge=True)
             improvements.append(
                 mpki_improvement(reference[name].mpki, result.mpki))
         series[value] = arithmetic_mean(improvements)

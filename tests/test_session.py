@@ -140,3 +140,102 @@ class TestRunCells:
         # the default session is preferred when its config matches
         default = default_session()
         assert _session_for_config(default.config) is default
+
+
+class TestDirectEntryPoints:
+    """Session.simulate() / Session.replay_mpki() for notebook callers."""
+
+    def test_simulate_uses_session_region_and_trace_cache(self):
+        session = Session(RunConfig(instructions=800, warmup=400))
+        result = session.simulate("sjeng_06", predictor="tage64")
+        assert result.core.instructions == 800
+        assert len(session.trace_cache) == 1
+
+    def test_simulate_memoizes_plain_kwargs(self):
+        session = Session(RunConfig(instructions=800, warmup=400))
+        first = session.simulate("sjeng_06", predictor="tage64",
+                                 br_config="mini")
+        assert session.simulate("sjeng_06", predictor="tage64",
+                                br_config="mini") is first
+        assert session.simulate("sjeng_06", predictor="tage64",
+                                br_config="big") is not first
+
+    def test_simulate_never_caches_component_instances(self):
+        from repro.predictors.registry import PREDICTORS
+        session = Session(RunConfig(instructions=800, warmup=400))
+        predictor = PREDICTORS.get("tage64")()
+        first = session.simulate("sjeng_06", predictor=predictor)
+        # a stateful instance must not be aliased through the cache
+        assert session.simulate("sjeng_06", predictor=predictor) \
+            is not first
+        assert len(session.result_cache) == 0
+
+    def test_simulate_matches_variant_run(self):
+        session = Session(RunConfig(instructions=800, warmup=400))
+        lone = Session(RunConfig(instructions=800, warmup=400))
+        direct = session.simulate("sjeng_06", predictor="tage64",
+                                  br_config="mini")
+        via_variant = lone.run("sjeng_06", "mini")
+        assert strip(direct.to_dict()) == strip(via_variant.to_dict())
+
+    def test_replay_mpki_name_is_the_cached_fast_path(self):
+        session = Session(RunConfig(instructions=800, warmup=400))
+        replayed = session.replay_mpki("sjeng_06", "tage64")
+        assert replayed.to_dict()["ipc"] is None  # no timing model ran
+        # same key as run(outputs="mpki"): the result is shared
+        assert session.run("sjeng_06", "tage64", outputs="mpki") \
+            is replayed
+
+    def test_replay_mpki_matches_full_timing_mpki(self):
+        session = Session(RunConfig(instructions=800, warmup=400))
+        replayed = session.replay_mpki("sjeng_06", "tage64")
+        full = session.run("sjeng_06", "tage64")
+        assert replayed.mpki == full.mpki
+
+    def test_replay_mpki_accepts_a_predictor_instance(self):
+        from repro.predictors.registry import PREDICTORS
+        session = Session(RunConfig(instructions=800, warmup=400))
+        replayed = session.replay_mpki("sjeng_06",
+                                       PREDICTORS.get("tage64")())
+        assert replayed.mpki == session.run("sjeng_06", "tage64").mpki
+        # instance replays are uncached; only the run() result is stored
+        assert len(session.result_cache) == 1
+
+    def test_module_level_facade_delegates_to_default_session(self):
+        replacement = Session(RunConfig(instructions=800, warmup=400))
+        previous = set_default_session(replacement)
+        try:
+            result = experiments.simulate("sjeng_06", predictor="tage64")
+            assert result.core.instructions == 800
+            replayed = experiments.replay_mpki("sjeng_06", "tage64")
+            assert replayed.mpki == result.mpki
+            assert len(replacement.trace_cache) == 1
+        finally:
+            set_default_session(previous)
+
+
+class TestSweepSessionThreading:
+    def test_sweep_runs_inside_the_given_session(self):
+        from repro.sim import sweeps
+        session = Session(RunConfig(instructions=800, warmup=400))
+        series = sweeps.sweep_parameter(
+            "chain_cache_entries", ["sjeng_06"], values=[8, 64],
+            session=session)
+        assert set(series) == {8, 64}
+        # reference + override cells all cached in *this* session, and
+        # every fresh cell reported into its merged registry
+        assert len(session.result_cache) == 3
+        assert len(session.trace_cache) == 1
+        instructions = session.registry.get("core.instructions").value
+        assert instructions == 3 * sweeps.SWEEP_INSTRUCTIONS
+
+    def test_sweep_defaults_to_the_default_session(self):
+        replacement = Session(RunConfig(instructions=800, warmup=400))
+        previous = set_default_session(replacement)
+        try:
+            from repro.sim import sweeps
+            sweeps.sweep_parameter("hbt_entries", ["sjeng_06"],
+                                   values=[8])
+            assert len(replacement.result_cache) >= 1
+        finally:
+            set_default_session(previous)
