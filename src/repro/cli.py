@@ -16,6 +16,9 @@ Commands
   one committed JSON regression baseline per benchmark (``baselines/``).
 * ``trend`` — per-pass/per-cell trajectory over the ``BENCH_*.json``
   family; ``--fail-on-regression`` gates on the best recorded run.
+* ``sweep report`` / ``sweep watch`` — merge a ``repro-journal-v1``
+  sweep journal (``compare``/``bench --journal``) into a drift-audited
+  ``repro-sweep-report-v1``, or tail a growing journal's progress live.
 * ``stats BENCH`` — dump the full unified stat registry as JSON.
 * ``trace BENCH`` — capture a pipeline event trace (Chrome/JSONL).
 * ``chains BENCH`` — show the dependence chains extracted for a benchmark.
@@ -41,6 +44,8 @@ from typing import List, Optional
 from repro.config import RunConfig, ResolvedConfig, resolve_config
 from repro.core.config import UARCH_CONFIGS
 from repro.observe import baseline as observe_baseline
+from repro.observe import journal as observe_journal
+from repro.observe import sweep_report as observe_sweep
 from repro.observe import trend as observe_trend
 from repro.predictors.registry import PREDICTORS
 from repro.sim import bench, experiments
@@ -125,6 +130,13 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="request branch outcomes only: baseline "
                          "cells take the MPKI replay fast path and no "
                          "IPC columns are printed")
+    compare.add_argument("--journal", default=None, metavar="PATH",
+                         help="flight-record the sweep as a "
+                         "repro-journal-v1 JSONL file (see "
+                         "`repro sweep report`)")
+    compare.add_argument("--progress", action="store_true",
+                         help="force the live progress line on stderr "
+                         "(auto-enabled on a tty)")
     compare.add_argument("--json", action="store_true",
                          help="emit one JSON object per benchmark")
 
@@ -157,6 +169,12 @@ def _build_parser() -> argparse.ArgumentParser:
                            help="relative throughput drop tolerated "
                            "against --baseline (default: "
                            f"{bench.BASELINE_WARN_FRACTION})")
+    bench_cmd.add_argument("--journal", default=None, metavar="PATH",
+                           help="flight-record the optimized pass as a "
+                           "repro-journal-v1 JSONL file")
+    bench_cmd.add_argument("--progress", action="store_true",
+                           help="force the live progress line on stderr "
+                           "(auto-enabled on a tty)")
 
     def add_matrix_args(p):
         p.add_argument("--quick", action="store_true",
@@ -223,6 +241,43 @@ def _build_parser() -> argparse.ArgumentParser:
                            help="emit the trend report as JSON")
     trend_cmd.add_argument("--report", default=None, metavar="PATH",
                            help="also write the JSON report to PATH")
+
+    sweep_cmd = sub.add_parser(
+        "sweep",
+        help="sweep flight-recorder journals: drift-audited reports "
+        "and live progress")
+    sweep_sub = sweep_cmd.add_subparsers(dest="action", required=True)
+    sweep_report_cmd = sweep_sub.add_parser(
+        "report",
+        help="merge a repro-journal-v1 journal into a drift-audited "
+        "sweep report (nonzero exit on failed cells / worker drift / "
+        "incomplete sweep)")
+    sweep_report_cmd.add_argument("journal", metavar="JOURNAL",
+                                  help="journal written by "
+                                  "compare/bench --journal")
+    sweep_report_cmd.add_argument("--slowest", type=int,
+                                  default=observe_sweep.DEFAULT_SLOWEST,
+                                  help="slowest-cell table length "
+                                  "(default: "
+                                  f"{observe_sweep.DEFAULT_SLOWEST})")
+    sweep_report_cmd.add_argument("--json", action="store_true",
+                                  help="emit the full report as JSON")
+    sweep_report_cmd.add_argument("--github", action="store_true",
+                                  help="emit GitHub ::error/::warning "
+                                  "workflow annotations")
+    sweep_report_cmd.add_argument("--report", default=None,
+                                  metavar="PATH",
+                                  help="also write the JSON report to "
+                                  "PATH")
+    sweep_watch_cmd = sweep_sub.add_parser(
+        "watch",
+        help="tail a growing journal and render live sweep progress")
+    sweep_watch_cmd.add_argument("journal", metavar="JOURNAL")
+    sweep_watch_cmd.add_argument("--interval", type=float, default=2.0,
+                                 help="poll interval in seconds "
+                                 "(default: 2)")
+    sweep_watch_cmd.add_argument("--once", action="store_true",
+                                 help="print one snapshot and exit")
 
     stats = sub.add_parser(
         "stats", help="dump the unified stat registry as JSON")
@@ -361,6 +416,33 @@ def _cmd_run(args) -> int:
     return 0
 
 
+def _progress_callback(force: bool = False):
+    """Live sweep progress on stderr; ``None`` when neither forced nor a tty.
+
+    On a tty the line redraws in place (``\\r`` + erase-to-EOL); when
+    forced onto a pipe each snapshot prints on its own line so logs stay
+    readable.  The returned callable carries a ``finish()`` attribute
+    that terminates the in-place line with a newline.
+    """
+    tty = sys.stderr.isatty()
+    if not (force or tty):
+        return None
+
+    def callback(snapshot: dict) -> None:
+        line = observe_journal.format_progress(snapshot)
+        if tty:
+            print(f"\r\x1b[K{line}", end="", file=sys.stderr, flush=True)
+        else:
+            print(line, file=sys.stderr, flush=True)
+
+    def finish() -> None:
+        if tty:
+            print(file=sys.stderr, flush=True)
+
+    callback.finish = finish
+    return callback
+
+
 def _cmd_compare(args) -> int:
     run_config = _resolve_from_args(args).config
     names = args.benchmarks or suite.BENCHMARK_NAMES
@@ -373,10 +455,24 @@ def _cmd_compare(args) -> int:
     cells = [(name, token) for name in names
              for token in (base_token, br_token)]
     outputs = "mpki" if args.mpki_only else "full"
-    rows = experiments.run_cells(cells,
-                                 instructions=run_config.instructions,
-                                 warmup=run_config.warmup, jobs=args.jobs,
-                                 chunksize=2, outputs=outputs)
+    progress = _progress_callback(force=args.progress)
+    try:
+        rows = experiments.run_cells(cells,
+                                     instructions=run_config.instructions,
+                                     warmup=run_config.warmup,
+                                     jobs=args.jobs,
+                                     chunksize=2, outputs=outputs,
+                                     journal=args.journal,
+                                     progress=progress)
+    finally:
+        if progress is not None:
+            progress.finish()
+    failed = [row for row in rows if not row.get("ok", True)]
+    for row in failed:
+        error = row["error"]
+        print(f"repro compare: error: {row['benchmark']}/{row['variant']} "
+              f"failed: {error['type']}: {error['message']}",
+              file=sys.stderr)
     if not args.json:
         header = (f"{'benchmark':14s} {'base MPKI':>10s} {'BR MPKI':>10s} "
                   f"{'ΔMPKI':>8s}")
@@ -387,6 +483,8 @@ def _cmd_compare(args) -> int:
         name = base_row["benchmark"]
         base = base_row["payload"]
         variant = br_row["payload"]
+        if base is None or variant is None:
+            continue  # failed cell already reported on stderr
         mpki_delta = mpki_improvement(base["mpki"], variant["mpki"])
         if args.json:
             row = {
@@ -412,16 +510,23 @@ def _cmd_compare(args) -> int:
                 line += (f" {base['ipc']:>9.3f} "
                          f"{variant['ipc']:>9.3f} {ipc_delta:>+7.1f}%")
             print(line)
-    return 0
+    return 1 if failed else 0
 
 
 def _cmd_bench(args) -> int:
-    report = bench.run_bench(benchmarks=args.benchmarks,
-                             variants=args.variants,
-                             instructions=args.instructions,
-                             warmup=args.warmup,
-                             jobs=args.jobs,
-                             quick=args.quick)
+    progress = _progress_callback(force=args.progress)
+    try:
+        report = bench.run_bench(benchmarks=args.benchmarks,
+                                 variants=args.variants,
+                                 instructions=args.instructions,
+                                 warmup=args.warmup,
+                                 jobs=args.jobs,
+                                 quick=args.quick,
+                                 journal=args.journal,
+                                 progress=progress)
+    finally:
+        if progress is not None:
+            progress.finish()
     try:
         with open(args.out, "w") as handle:
             json.dump(report, handle, indent=2, sort_keys=True)
@@ -537,6 +642,56 @@ def _cmd_trend(args) -> int:
     return 0
 
 
+def _cmd_sweep(args) -> int:
+    if args.action == "report":
+        try:
+            journal = observe_journal.read_journal(args.journal)
+            report = observe_sweep.build_sweep_report(
+                journal, slowest=args.slowest)
+        except (OSError, ValueError) as error:
+            print(f"repro sweep: error: {error}", file=sys.stderr)
+            return 2
+        if args.report:
+            try:
+                with open(args.report, "w") as handle:
+                    json.dump(report, handle, indent=2, sort_keys=True)
+                    handle.write("\n")
+            except OSError as error:
+                print(f"repro sweep: error: cannot write {args.report}: "
+                      f"{error}", file=sys.stderr)
+                return 1
+        if args.json:
+            print(json.dumps(report, indent=2, sort_keys=True))
+        else:
+            print(observe_sweep.format_sweep_report(report))
+        if args.github:
+            for line in observe_sweep.github_annotations(report):
+                print(line)
+        return 0 if report["ok"] else 1
+
+    # watch: poll the journal until the sweep finishes (or forever, for
+    # a sweep that died — ^C is the way out, same as `tail -f`)
+    import time as _time
+    while True:
+        try:
+            journal = observe_journal.read_journal(args.journal)
+        except FileNotFoundError:
+            if args.once:
+                print(f"repro sweep: error: {args.journal}: journal not "
+                      "found", file=sys.stderr)
+                return 2
+            _time.sleep(args.interval)
+            continue
+        except (OSError, ValueError) as error:
+            print(f"repro sweep: error: {error}", file=sys.stderr)
+            return 2
+        snapshot = observe_sweep.journal_snapshot(journal)
+        print(observe_sweep.format_watch_line(snapshot))
+        if args.once or journal["complete"]:
+            return 0
+        _time.sleep(args.interval)
+
+
 def _cmd_stats(args) -> int:
     result = _simulate_from_args(args)
     registry = result.build_registry()
@@ -603,6 +758,7 @@ COMMANDS = {
     "bench": _cmd_bench,
     "baseline": _cmd_baseline,
     "trend": _cmd_trend,
+    "sweep": _cmd_sweep,
     "stats": _cmd_stats,
     "trace": _cmd_trace,
     "chains": _cmd_chains,

@@ -21,6 +21,16 @@ per-benchmark regression observatory:
   ``BENCH_*.json`` family and renders the per-pass/per-cell trajectory
   across PRs, failing on throughput regressions against the best
   recorded run.
+* :mod:`repro.observe.journal` — the sweep flight recorder: an
+  append-only ``repro-journal-v1`` JSONL event stream written live as a
+  parallel ``run_cells`` sweep lands rows (per-worker manifests, per-cell
+  wall/RSS/cache/digest facts, structured failures), tolerant of
+  truncation by a killed sweep.
+* :mod:`repro.observe.sweep_report` — ``repro sweep report``/``watch``
+  merge a journal into a ``repro-sweep-report-v1``: cross-worker
+  manifest drift audit (fail-severity, same tolerance machinery as the
+  baselines), per-worker aggregates, load imbalance, slowest cells,
+  failure digest, optional cProfile frames.
 """
 
 from repro.observe.manifest import (  # noqa: F401
@@ -42,4 +52,16 @@ from repro.observe.trend import (  # noqa: F401
     build_trend,
     format_trend_report,
     load_reports,
+)
+from repro.observe.journal import (  # noqa: F401
+    JOURNAL_SCHEMA,
+    SweepRecorder,
+    format_progress,
+    read_journal,
+)
+from repro.observe.sweep_report import (  # noqa: F401
+    SWEEP_REPORT_SCHEMA,
+    build_sweep_report,
+    format_sweep_report,
+    journal_snapshot,
 )

@@ -1,0 +1,424 @@
+"""Drift-audited sweep reports (``repro sweep report`` / ``sweep watch``).
+
+Merges a ``repro-journal-v1`` sweep journal into a
+``repro-sweep-report-v1`` document:
+
+* **per-worker drift audit** — every worker's run manifest is checked
+  against the sweep manifest under the same
+  :class:`~repro.observe.baseline.Tolerance` machinery the baseline
+  checker uses: the deterministic manifest fingerprint plus the host
+  facts that must not vary *within one sweep* (git sha, interpreter) are
+  exact fail-severity checks, the platform string warns.  A worker that
+  never shipped a manifest is itself a fail-severity violation — an
+  unauditable worker is drift you cannot rule out;
+* **per-worker aggregates** — cells run, busy wall seconds, trace/result
+  cache hits, peak-RSS delta high-water mark;
+* **load balance** — busiest/idlest worker and the imbalance ratio
+  (busiest / mean busy seconds), plus the slowest-N cells (the
+  stragglers an ordered sweep serializes behind);
+* **failure digest** — ``cell_failed`` events grouped by exception
+  class, with the first message and the affected cells;
+* **profile** — when the journal was recorded under
+  ``REPRO_PROFILE=cprofile``, the top cumulative-time frames aggregated
+  from the per-cell pstats dumps next to the journal.
+
+``report["ok"]`` is False — and the CLI exits nonzero — when the sweep
+is incomplete, any cell failed, or any fail-severity drift violation
+fired.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional
+
+from repro.observe.baseline import Tolerance
+from repro.observe.journal import (
+    format_progress,
+    profile_dir_for,
+    read_journal,
+)
+
+SWEEP_REPORT_SCHEMA = "repro-sweep-report-v1"
+
+#: Slowest-cell table length.
+DEFAULT_SLOWEST = 10
+
+#: Top cumulative profile frames surfaced in the report.
+DEFAULT_PROFILE_FRAMES = 15
+
+
+def drift_policy() -> Dict[str, Tolerance]:
+    """Per-fact tolerance table for the cross-worker manifest audit.
+
+    Within one sweep every worker must run the same code (git sha), the
+    same interpreter, and the same resolved config (manifest
+    fingerprint); any mismatch silently mixes incomparable results into
+    one table, so those are exact fail-severity checks.  The platform
+    string can legitimately vary across a future multi-host fleet, so it
+    only warns.
+    """
+    return {
+        "manifest_fingerprint": Tolerance("exact", severity="fail"),
+        "host.git_sha": Tolerance("exact", severity="fail"),
+        "host.python": Tolerance("exact", severity="fail"),
+        "host.platform": Tolerance("exact", severity="warn"),
+    }
+
+
+def _manifest_fact(manifest: Optional[dict], dotted: str):
+    node = manifest or {}
+    for part in dotted.split("."):
+        if not isinstance(node, dict):
+            return None
+        node = node.get(part)
+    return node
+
+
+def _drift_violation(pid, metric: str, sweep_value, worker_value,
+                     tolerance: Tolerance) -> dict:
+    return {
+        "worker": pid,
+        "metric": metric,
+        "sweep": sweep_value,
+        "worker_value": worker_value,
+        "tolerance": {"mode": tolerance.mode, "bound": tolerance.bound},
+        "severity": tolerance.severity,
+    }
+
+
+def _audit_worker(pid, started: dict, sweep: dict,
+                  policy: Dict[str, Tolerance]) -> List[dict]:
+    """Drift findings for one ``worker_started`` event vs the sweep."""
+    manifest = started.get("manifest")
+    if manifest is None:
+        missing = Tolerance("exact", severity="fail")
+        return [_drift_violation(pid, "manifest", "present", None, missing)]
+    findings: List[dict] = []
+    tolerance = policy["manifest_fingerprint"]
+    sweep_fp = sweep.get("manifest_fingerprint")
+    worker_fp = started.get("manifest_fingerprint")
+    if tolerance.violates(sweep_fp, worker_fp):
+        findings.append(_drift_violation(
+            pid, "manifest_fingerprint", sweep_fp, worker_fp, tolerance))
+    for fact in ("host.git_sha", "host.python", "host.platform"):
+        tolerance = policy[fact]
+        sweep_value = _manifest_fact(sweep.get("manifest"), fact)
+        worker_value = _manifest_fact(manifest, fact)
+        if tolerance.violates(sweep_value, worker_value):
+            findings.append(_drift_violation(
+                pid, fact, sweep_value, worker_value, tolerance))
+    return findings
+
+
+# -- profiling -------------------------------------------------------------
+
+def _profile_summary(journal_path: str,
+                     frames: int = DEFAULT_PROFILE_FRAMES
+                     ) -> Optional[dict]:
+    """Aggregate per-cell pstats dumps into a top-cumulative-frames table."""
+    directory = profile_dir_for(journal_path)
+    if not os.path.isdir(directory):
+        return None
+    import pstats
+    stats = None
+    dumps = sorted(name for name in os.listdir(directory)
+                   if name.endswith(".pstats"))
+    loaded = 0
+    for name in dumps:
+        path = os.path.join(directory, name)
+        try:
+            if stats is None:
+                stats = pstats.Stats(path)
+            else:
+                stats.add(path)
+            loaded += 1
+        except Exception:  # corrupt dump from a killed worker: skip
+            continue
+    if stats is None:
+        return None
+    stats.sort_stats("cumulative")
+    top: List[dict] = []
+    for func, (cc, nc, tt, ct, _callers) in sorted(
+            stats.stats.items(), key=lambda item: -item[1][3])[:frames]:
+        filename, line, name = func
+        top.append({
+            "function": f"{os.path.basename(filename)}:{line}({name})",
+            "calls": nc,
+            "cumulative_seconds": round(ct, 6),
+            "internal_seconds": round(tt, 6),
+        })
+    return {"dumps": loaded, "top_cumulative": top}
+
+
+# -- report building -------------------------------------------------------
+
+def build_sweep_report(journal, slowest: int = DEFAULT_SLOWEST,
+                       profile_frames: int = DEFAULT_PROFILE_FRAMES
+                       ) -> dict:
+    """Merge a journal (path or :func:`read_journal` dict) into a report."""
+    if not isinstance(journal, dict):
+        journal = read_journal(journal)
+    events = journal["events"]
+    sweep = events[0]
+    policy = drift_policy()
+
+    workers: Dict[object, dict] = {}
+    cells_finished: List[dict] = []
+    cells_failed: List[dict] = []
+    violations: List[dict] = []
+    warnings: List[dict] = []
+    finished = None
+    for event in events:
+        kind = event["event"]
+        if kind == "worker_started":
+            pid = event.get("pid")
+            workers[pid] = {
+                "pid": pid, "cells": 0, "wall_seconds": 0.0,
+                "trace_cache_hits": 0, "result_cache_hits": 0,
+                "peak_rss_kb_delta": 0,
+                "has_manifest": event.get("manifest") is not None,
+            }
+            for finding in _audit_worker(pid, event, sweep, policy):
+                (violations if finding["severity"] == "fail"
+                 else warnings).append(finding)
+        elif kind in ("cell_finished", "cell_failed"):
+            info = workers.get(event.get("pid"))
+            if info is not None:
+                info["cells"] += 1
+                info["wall_seconds"] += event.get("wall_seconds") or 0.0
+                if event.get("trace_cache_hit"):
+                    info["trace_cache_hits"] += 1
+                if event.get("result_cache_hit"):
+                    info["result_cache_hits"] += 1
+                rss = event.get("peak_rss_kb_delta")
+                if rss:
+                    info["peak_rss_kb_delta"] = max(
+                        info["peak_rss_kb_delta"], rss)
+            if kind == "cell_finished":
+                cells_finished.append(event)
+            else:
+                cells_failed.append(event)
+        elif kind == "sweep_finished":
+            finished = event
+
+    landed = len(cells_finished) + len(cells_failed)
+    total = sweep.get("total_cells") or landed
+
+    # failure digest: grouped by exception class
+    failure_groups: Dict[str, dict] = {}
+    for event in cells_failed:
+        error = event.get("error") or {}
+        kind = error.get("type") or "UnknownError"
+        group = failure_groups.setdefault(kind, {
+            "type": kind, "message": error.get("message"),
+            "count": 0, "cells": [],
+        })
+        group["count"] += 1
+        group["cells"].append(f"{event['benchmark']}/{event['variant']}")
+
+    # load balance over worker busy time
+    busy = [info["wall_seconds"] for info in workers.values()
+            if info["cells"]]
+    load = None
+    if busy:
+        mean = sum(busy) / len(busy)
+        load = {
+            "workers": len(busy),
+            "busiest_seconds": round(max(busy), 6),
+            "idlest_seconds": round(min(busy), 6),
+            "mean_seconds": round(mean, 6),
+            "imbalance": round(max(busy) / mean, 3) if mean > 0 else None,
+        }
+
+    slowest_cells = [
+        {"cell": f"{event['benchmark']}/{event['variant']}",
+         "wall_seconds": event.get("wall_seconds"),
+         "trace_cache_hit": event.get("trace_cache_hit"),
+         "pid": event.get("pid")}
+        for event in sorted(cells_finished + cells_failed,
+                            key=lambda e: -(e.get("wall_seconds") or 0.0)
+                            )[:slowest]
+    ]
+
+    hits = sum(1 for event in cells_finished
+               if event.get("trace_cache_hit"))
+    report = {
+        "schema": SWEEP_REPORT_SCHEMA,
+        "journal": journal.get("path"),
+        "sweep": {
+            "sweep_id": sweep.get("sweep_id"),
+            "manifest_fingerprint": sweep.get("manifest_fingerprint"),
+            "jobs": sweep.get("jobs"),
+            "outputs": sweep.get("outputs"),
+            "total_cells": total,
+            "cells_done": len(cells_finished),
+            "cells_failed": len(cells_failed),
+            "complete": journal["complete"],
+            "truncated": journal["truncated"],
+            "malformed_lines": journal["malformed_lines"],
+            "wall_seconds": (finished or {}).get("wall_seconds"),
+            "trace_cache_hit_rate": (round(hits / landed, 4)
+                                     if landed else None),
+        },
+        "workers": [workers[pid] for pid in sorted(
+            workers, key=lambda value: (value is None, value))],
+        "drift": {
+            "ok": not violations,
+            "violations": violations,
+            "warnings": warnings,
+        },
+        "load": load,
+        "slowest_cells": slowest_cells,
+        "failures": sorted(failure_groups.values(),
+                           key=lambda group: group["type"]),
+        "profile": (_profile_summary(journal.get("path"),
+                                     frames=profile_frames)
+                    if sweep.get("profile") and journal.get("path")
+                    else None),
+    }
+    report["ok"] = (journal["complete"] and not cells_failed
+                    and not violations)
+    return report
+
+
+# -- rendering -------------------------------------------------------------
+
+def _describe_drift(finding: dict) -> str:
+    return (f"worker {finding['worker']}: {finding['metric']} "
+            f"{finding['worker_value']!r} != sweep {finding['sweep']!r}")
+
+
+def format_sweep_report(report: dict) -> str:
+    """Human-readable ``repro sweep report`` rendering."""
+    sweep = report["sweep"]
+    state = "complete" if sweep["complete"] else "INCOMPLETE"
+    hit_rate = sweep["trace_cache_hit_rate"]
+    lines = [
+        f"sweep report: {sweep['cells_done']}/{sweep['total_cells']} "
+        f"cells done, {sweep['cells_failed']} failed, jobs="
+        f"{sweep['jobs']}, {state}"
+        + (f", trace-hit {100 * hit_rate:.0f}%"
+           if hit_rate is not None else ""),
+    ]
+    if sweep["wall_seconds"] is not None:
+        lines[-1] += f", {sweep['wall_seconds']:.3f}s wall"
+    for info in report["workers"]:
+        lines.append(
+            f"  worker {info['pid']}: {info['cells']} cell(s), "
+            f"{info['wall_seconds']:.3f}s busy, "
+            f"{info['trace_cache_hits']} trace hit(s)"
+            + ("" if info["has_manifest"] else ", NO MANIFEST"))
+    load = report["load"]
+    if load and load["workers"] > 1:
+        lines.append(
+            f"  load: imbalance {load['imbalance']}x "
+            f"(busiest {load['busiest_seconds']:.3f}s, idlest "
+            f"{load['idlest_seconds']:.3f}s)")
+    for finding in report["drift"]["violations"]:
+        lines.append(f"  DRIFT    {_describe_drift(finding)}")
+    for finding in report["drift"]["warnings"]:
+        lines.append(f"  drift?   {_describe_drift(finding)}")
+    for group in report["failures"]:
+        lines.append(
+            f"  FAILED   {group['count']} cell(s) with {group['type']}: "
+            f"{group['message']} ({', '.join(group['cells'])})")
+    if report["slowest_cells"]:
+        worst = report["slowest_cells"][0]
+        lines.append(
+            f"  slowest : {worst['cell']} "
+            f"{(worst['wall_seconds'] or 0.0):.3f}s"
+            + (f" (+{len(report['slowest_cells']) - 1} more)"
+               if len(report["slowest_cells"]) > 1 else ""))
+    profile = report.get("profile")
+    if profile:
+        lines.append(f"  profile : {profile['dumps']} cell dump(s); "
+                     f"top cumulative frames:")
+        for frame in profile["top_cumulative"][:5]:
+            lines.append(f"    {frame['cumulative_seconds']:8.3f}s  "
+                         f"{frame['function']}")
+    if report["ok"]:
+        lines.append("  ok: sweep complete, no failures, no worker drift")
+    else:
+        reasons = []
+        if not sweep["complete"]:
+            reasons.append("incomplete sweep")
+        if sweep["cells_failed"]:
+            reasons.append(f"{sweep['cells_failed']} failed cell(s)")
+        if report["drift"]["violations"]:
+            reasons.append(f"{len(report['drift']['violations'])} drift "
+                           f"violation(s)")
+        lines.append(f"  FAILED: {', '.join(reasons)}")
+    return "\n".join(lines)
+
+
+def github_annotations(report: dict) -> List[str]:
+    """``::error``/``::warning`` workflow-command lines for CI logs."""
+    annotations: List[str] = []
+    journal = report.get("journal") or "journal"
+    if not report["sweep"]["complete"]:
+        annotations.append(
+            f"::error title=Incomplete sweep::{journal} has no "
+            f"sweep_finished event (killed or still running)")
+    for finding in report["drift"]["violations"]:
+        annotations.append(f"::error title=Worker drift::"
+                           f"{_describe_drift(finding)}")
+    for finding in report["drift"]["warnings"]:
+        annotations.append(f"::warning title=Worker drift::"
+                           f"{_describe_drift(finding)}")
+    for group in report["failures"]:
+        annotations.append(
+            f"::error title=Failed sweep cells::{group['count']} "
+            f"cell(s) raised {group['type']}: {group['message']} "
+            f"({', '.join(group['cells'])})")
+    return annotations
+
+
+# -- watching --------------------------------------------------------------
+
+def journal_snapshot(journal) -> dict:
+    """Progress snapshot from a (possibly still-growing) journal."""
+    if not isinstance(journal, dict):
+        journal = read_journal(journal)
+    events = journal["events"]
+    sweep = events[0]
+    done = failed = hits = 0
+    last_cell = None
+    for event in events:
+        if event["event"] == "cell_finished":
+            done += 1
+            if event.get("trace_cache_hit"):
+                hits += 1
+            last_cell = f"{event['benchmark']}/{event['variant']}"
+        elif event["event"] == "cell_failed":
+            failed += 1
+            last_cell = f"{event['benchmark']}/{event['variant']}"
+    landed = done + failed
+    first_t = events[0].get("t")
+    last_t = events[-1].get("t")
+    elapsed = (last_t - first_t) if first_t and last_t else None
+    total = sweep.get("total_cells") or landed
+    eta = None
+    if elapsed and landed and landed < total:
+        eta = elapsed / landed * (total - landed)
+    plan = sweep.get("cells") or []
+    return {
+        "done": done,
+        "failed": failed,
+        "total": total,
+        "elapsed_seconds": elapsed,
+        "eta_seconds": eta,
+        "trace_cache_hit_rate": hits / landed if landed else None,
+        "last_cell": last_cell,
+        "next_cell": ("/".join(plan[landed])
+                      if landed < len(plan) else None),
+        "complete": journal["complete"],
+    }
+
+
+def format_watch_line(snapshot: dict) -> str:
+    line = format_progress(snapshot)
+    if snapshot.get("complete"):
+        line += " | finished"
+    return line

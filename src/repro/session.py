@@ -26,8 +26,13 @@ included) when the config matches.
 
 from __future__ import annotations
 
+import os
+import time
+import traceback as _traceback
+import uuid
 from collections import OrderedDict
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, \
+    Tuple
 
 from repro.config import RunConfig, current_config, resolve_jobs
 from repro.sim.predictor_replay import replay_mpki
@@ -63,6 +68,9 @@ class Session:
         #: Cross-cell merged stats (counters add, gauges newest); fed by
         #: ``run_cells(..., merge=True)`` / ``run_matrix(merged=True)``.
         self.registry = StatRegistry()
+        #: Result-cache hit counter (journal cell events report per-cell
+        #: hit flags the same way the trace cache already does).
+        self.result_cache_hits = 0
 
     # -- config management -------------------------------------------------
 
@@ -99,6 +107,7 @@ class Session:
         result = self._results.get(key)
         if result is not None:
             self._results.move_to_end(key)
+            self.result_cache_hits += 1
         return result
 
     def _cache_put(self, key: Tuple, result: SimulationResult) -> None:
@@ -268,11 +277,14 @@ class Session:
                   cache: bool = True,
                   chunksize: Optional[int] = None,
                   outputs: str = "full",
-                  merge: bool = False) -> List[dict]:
+                  merge: bool = False,
+                  journal: Optional[str] = None,
+                  progress: Optional[Callable[[dict], None]] = None,
+                  start_method: Optional[str] = None) -> List[dict]:
         """Run many ``(benchmark, variant)`` cells, optionally in parallel.
 
         Returns one dict per cell — ``{"benchmark", "variant", "payload",
-        "registry_state", "trace_cache_hit"}`` with ``payload =
+        "registry_state", "trace_cache_hit", ...}`` with ``payload =
         SimulationResult.to_dict()`` — in the *input* order regardless of
         worker scheduling, so output is deterministic for any job count.
         ``jobs`` defaults to the session config (explicit argument wins);
@@ -280,33 +292,102 @@ class Session:
         count so each worker keeps per-benchmark trace-cache locality.
         ``merge=True`` additionally folds every cell's registry into
         :attr:`registry`.
+
+        A *raising* cell never aborts the sweep: its row carries
+        ``ok=False`` and a structured ``error`` (exception class,
+        message, traceback) with ``payload=None``, and the remaining
+        cells still run.  ``journal=PATH`` records the sweep as an
+        append-only ``repro-journal-v1`` event stream (see
+        :mod:`repro.observe.journal`) — rows are consumed through an
+        ordered ``imap`` so events land as cells finish, not at the
+        barrier; ``progress`` is called with a live snapshot dict after
+        every row.  ``start_method`` (or ``REPRO_MP_START``) forces the
+        multiprocessing start method; the default prefers ``fork`` and
+        falls back to ``spawn``.
         """
         instructions = instructions or self.config.instructions
         warmup = warmup if warmup is not None else self.config.warmup
         jobs = max(1, jobs) if jobs is not None else self.config.jobs
         task_config = self.config.replace(
             instructions=instructions, warmup=warmup)
-        tasks = [(task_config, benchmark, variant, instructions, warmup,
-                  cache, outputs) for benchmark, variant in cells]
-        if jobs <= 1 or len(tasks) <= 1:
-            rows = [_run_cell_in(self, task) for task in tasks]
-        else:
-            import multiprocessing
+        if start_method is None:
+            start_method = os.environ.get("REPRO_MP_START") or None
 
-            try:
-                context = multiprocessing.get_context("fork")
-            except ValueError:  # platform without fork (e.g. Windows)
-                context = multiprocessing.get_context("spawn")
-            # publish this session so fork workers find it warm (and
-            # spawn workers rebuild an equivalent one from the pickled
-            # task config)
-            _worker_sessions[task_config] = self
-            jobs = min(jobs, len(tasks))
-            if chunksize is None:
-                chunksize = max(1, (len(tasks) + jobs - 1) // jobs)
-            with context.Pool(processes=jobs) as pool:
-                # Pool.map preserves input order: deterministic merge
-                rows = pool.map(_run_cell, tasks, chunksize=chunksize)
+        recorder = None
+        profile_mode = None
+        if journal is not None or progress is not None:
+            from repro.observe.journal import PROFILE_ENV, SweepRecorder
+            if journal is not None:
+                profile_mode = os.environ.get(PROFILE_ENV) or None
+            jobs_effective = min(jobs, len(cells)) if cells else jobs
+            recorder = SweepRecorder(
+                journal, config=task_config, cells=cells,
+                jobs=jobs_effective, chunksize=chunksize, outputs=outputs,
+                sweep_id=uuid.uuid4().hex, profile=profile_mode,
+                start_method=start_method, progress=progress)
+        meta = {
+            "sweep_id": recorder.sweep_id if recorder else None,
+            # worker manifests are only worth a git subprocess when a
+            # journal will actually record them
+            "announce": journal is not None,
+            "profile": recorder.profile if recorder else None,
+            "profile_dir": recorder.profile_dir if recorder else None,
+        }
+        tasks = [(task_config, benchmark, variant, instructions, warmup,
+                  cache, outputs, {**meta, "index": index})
+                 for index, (benchmark, variant) in enumerate(cells)]
+        rows: List[dict] = []
+        try:
+            if recorder is not None:
+                recorder.start()
+            if jobs <= 1 or len(tasks) <= 1:
+                for task in tasks:
+                    row = _run_cell_in(self, task)
+                    if recorder is not None:
+                        recorder.record_row(row)
+                    rows.append(row)
+            else:
+                import multiprocessing
+
+                if start_method is not None:
+                    context = multiprocessing.get_context(start_method)
+                else:
+                    try:
+                        context = multiprocessing.get_context("fork")
+                    except ValueError:  # platform without fork
+                        context = multiprocessing.get_context("spawn")
+                # publish this session so fork workers find it warm (and
+                # spawn workers rebuild an equivalent one from the
+                # pickled task config); unpublished in the finally so
+                # repeated sweeps cannot pin dead sessions for the
+                # process lifetime
+                _worker_sessions[task_config] = self
+                jobs = min(jobs, len(tasks))
+                if chunksize is None:
+                    chunksize = max(1, (len(tasks) + jobs - 1) // jobs)
+                try:
+                    with context.Pool(processes=jobs) as pool:
+                        # ordered imap: rows arrive in input order (the
+                        # deterministic merge map preserved), but stream
+                        # back as chunks complete instead of at a
+                        # whole-sweep barrier
+                        for row in pool.imap(_run_cell, tasks,
+                                             chunksize=chunksize):
+                            if recorder is not None:
+                                recorder.record_row(row)
+                            rows.append(row)
+                finally:
+                    _worker_sessions.pop(task_config, None)
+        except BaseException:
+            if recorder is not None:
+                # leave the journal truncated (no sweep_finished): a
+                # killed or crashed sweep reads back as cleanly
+                # incomplete, which is what resume will key on
+                recorder.close()
+            raise
+        else:
+            if recorder is not None:
+                recorder.finish()
         if merge:
             self.registry.merge(merged_registry(rows))
         return rows
@@ -318,12 +399,17 @@ class Session:
                    jobs: Optional[int] = None,
                    cache: bool = True,
                    outputs: str = "full",
-                   merged: bool = False):
+                   merged: bool = False,
+                   journal: Optional[str] = None,
+                   progress: Optional[Callable[[dict], None]] = None):
         """Run a variant × benchmark matrix; returns nested payload dicts.
 
         ``result[benchmark][variant]`` is the cell's
-        :meth:`~repro.sim.results.SimulationResult.to_dict` payload.
-        Cells are laid out benchmark-major and chunked one benchmark per
+        :meth:`~repro.sim.results.SimulationResult.to_dict` payload — or
+        ``{"error": {...}}`` for a cell whose worker raised; error rows
+        are skipped when merging registries, so one bad cell degrades
+        exactly one matrix entry instead of aborting the sweep.  Cells
+        are laid out benchmark-major and chunked one benchmark per
         worker dispatch.  ``merged=True`` additionally returns the
         cross-cell :func:`merged_registry` as ``(matrix, registry)``.
         """
@@ -337,11 +423,14 @@ class Session:
         rows = self.run_cells(cells, instructions=instructions,
                               warmup=warmup, jobs=jobs, cache=cache,
                               chunksize=max(1, len(variant_list)),
-                              outputs=outputs)
+                              outputs=outputs, journal=journal,
+                              progress=progress)
         matrix: Dict[str, Dict[str, dict]] = {name: {}
                                               for name in benchmark_list}
         for row in rows:
-            matrix[row["benchmark"]][row["variant"]] = row["payload"]
+            entry = row["payload"] if row.get("error") is None \
+                else {"error": row["error"]}
+            matrix[row["benchmark"]][row["variant"]] = entry
         if merged:
             return matrix, merged_registry(rows)
         return matrix
@@ -372,27 +461,114 @@ def _session_for_config(config: RunConfig) -> Session:
     return session
 
 
+def _peak_rss_kb() -> Optional[int]:
+    """Local peak-RSS probe (duplicated from repro.observe.manifest: this
+    module must stay importable without triggering the observe package,
+    which imports Session back)."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX platform
+        return None
+    import sys
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - bytes on macOS
+        peak //= 1024
+    return int(peak)
+
+
+#: Sweep ids this *process* has already announced a worker manifest for.
+#: Fork workers inherit the parent's copy, which never contains their
+#: sweep's id (the parent records rows, it never computes them), so each
+#: worker announces exactly once per sweep.
+_announced_sweeps: set = set()
+
+
 def _run_cell_in(session: Session, task: Tuple) -> dict:
     """Run one cell inside ``session`` and flatten it to a picklable dict.
 
     ``registry_state`` carries the cell's full stat registry in the
     kind-aware :meth:`~repro.telemetry.StatRegistry.to_state` form, so the
     parent can :meth:`~repro.telemetry.StatRegistry.merge` registries from
-    all workers (see :func:`merged_registry`).
+    all workers (see :func:`merged_registry`).  A raising cell is
+    converted into a structured error row (``ok=False``, ``payload=None``,
+    ``error={type, message, traceback}``) instead of propagating — one
+    bad cell must not abort a pool of good ones.
+
+    The optional eighth task element is flight-recorder metadata
+    (``index``, ``sweep_id``, ``announce``, ``profile``/``profile_dir``):
+    cells measure their own wall seconds and peak-RSS delta, the first
+    cell per worker per sweep ships the worker's own
+    :func:`~repro.observe.manifest.run_manifest` back on the row, and
+    ``REPRO_PROFILE=cprofile`` dumps per-cell pstats beside the journal.
     """
     (_, benchmark, variant, instructions, warmup, use_result_cache,
-     outputs) = task
+     outputs) = task[:7]
+    meta = task[7] if len(task) > 7 else {}
     trace_cache = session.trace_cache
     hits_before = trace_cache.hits
-    result = session.run(benchmark, variant, instructions=instructions,
-                         warmup=warmup, cache=use_result_cache,
-                         outputs=outputs)
+    result_hits_before = session.result_cache_hits
+    rss_before = _peak_rss_kb()
+    started_at = time.time()
+    tick = time.perf_counter()
+    profiler = None
+    if meta.get("profile") == "cprofile" and meta.get("profile_dir"):
+        import cProfile
+        profiler = cProfile.Profile()
+    payload = registry_state = error = None
+    try:
+        if profiler is not None:
+            profiler.enable()
+        try:
+            result = session.run(benchmark, variant,
+                                 instructions=instructions,
+                                 warmup=warmup, cache=use_result_cache,
+                                 outputs=outputs)
+        finally:
+            if profiler is not None:
+                profiler.disable()
+        payload = result.to_dict()
+        registry_state = result.build_registry().to_state()
+    except Exception as exc:
+        error = {"type": type(exc).__name__, "message": str(exc),
+                 "traceback": _traceback.format_exc()}
+    wall = time.perf_counter() - tick
+    if profiler is not None:
+        try:
+            profiler.dump_stats(os.path.join(
+                meta["profile_dir"],
+                f"cell-{meta.get('index', 0):04d}.pstats"))
+        except OSError:  # profiling is best-effort forensics
+            pass
+    rss_after = _peak_rss_kb()
+    worker: dict = {"pid": os.getpid(), "manifest": None}
+    sweep_id = meta.get("sweep_id")
+    if meta.get("announce") and sweep_id is not None \
+            and sweep_id not in _announced_sweeps:
+        _announced_sweeps.add(sweep_id)
+        from repro.observe.manifest import run_manifest
+        # manifest the *task* config, not session.config: an adopted
+        # parent session keeps its own base region lengths, but the
+        # sweep runs (and must be audited) under the task's config
+        worker["manifest"] = run_manifest(task[0])
     return {
         "benchmark": benchmark,
         "variant": variant,
-        "payload": result.to_dict(),
-        "registry_state": result.build_registry().to_state(),
+        "index": meta.get("index"),
+        "ok": error is None,
+        "error": error,
+        "payload": payload,
+        "registry_state": registry_state,
         "trace_cache_hit": trace_cache.hits > hits_before,
+        "result_cache_hit":
+            session.result_cache_hits > result_hits_before,
+        "cell": {
+            "started_at": round(started_at, 6),
+            "wall_seconds": round(wall, 6),
+            "peak_rss_kb_delta": (rss_after - rss_before
+                                  if rss_after is not None
+                                  and rss_before is not None else None),
+        },
+        "worker": worker,
     }
 
 
@@ -412,9 +588,13 @@ def merged_registry(rows: Iterable[dict]) -> StatRegistry:
 
     This is the multi-region aggregation path ``StatRegistry.merge`` was
     built for: cross-cell event totals (mispredicts, cache hits, DCE
-    uops) come out summed, histograms concatenated.
+    uops) come out summed, histograms concatenated.  Error rows (a cell
+    whose worker raised) carry no registry state and are skipped, so a
+    failed cell degrades the aggregate instead of crashing the merge.
     """
-    return StatRegistry.from_states(row["registry_state"] for row in rows)
+    return StatRegistry.from_states(
+        row["registry_state"] for row in rows
+        if row.get("registry_state") is not None)
 
 
 # -- default session -------------------------------------------------------

@@ -113,11 +113,16 @@ def run_bench(benchmarks: Optional[List[str]] = None,
               instructions: Optional[int] = None,
               warmup: Optional[int] = None,
               jobs: Optional[int] = None,
-              quick: bool = False) -> dict:
+              quick: bool = False,
+              journal: Optional[str] = None,
+              progress=None) -> dict:
     """Run the three-pass bench and return the ``repro-bench-v2`` report.
 
     ``quick`` selects the CI smoke matrix; explicit arguments override it.
-    The returned report's ``drift.ok`` is the pass/fail bit.
+    The returned report's ``drift.ok`` is the pass/fail bit.  ``journal``
+    flight-records the *optimized* pass (the production parallel sweep)
+    as a ``repro-journal-v1`` file for ``repro sweep report``;
+    ``progress`` receives live snapshots from the same pass.
     """
     if quick:
         benchmarks = benchmarks or QUICK_BENCHMARKS
@@ -163,7 +168,9 @@ def run_bench(benchmarks: Optional[List[str]] = None,
     rows = optimized_session.run_cells(cells, instructions=instructions,
                                        warmup=warmup, jobs=jobs,
                                        cache=False,
-                                       chunksize=max(1, len(variants)))
+                                       chunksize=max(1, len(variants)),
+                                       journal=journal,
+                                       progress=progress)
     optimized_wall = time.perf_counter() - start
     optimized_payloads = [row["payload"] for row in rows]
     trace_hits = sum(1 for row in rows if row["trace_cache_hit"])
@@ -226,6 +233,7 @@ def run_bench(benchmarks: Optional[List[str]] = None,
         "jobs": jobs,
         "cells": len(cells),
         "uops_per_cell": region,
+        "journal": journal,
         "baseline": _pass_report(baseline_wall, baseline_payloads,
                                  total_uops),
         "optimized": {

@@ -95,11 +95,15 @@ def run_cells(cells: Sequence[Tuple[str, str]],
               jobs: Optional[int] = None,
               cache: bool = True,
               chunksize: Optional[int] = None,
-              outputs: str = "full") -> List[dict]:
+              outputs: str = "full",
+              journal: Optional[str] = None,
+              progress=None,
+              start_method: Optional[str] = None) -> List[dict]:
     """Run cells in the default session (see :meth:`Session.run_cells`)."""
     return default_session().run_cells(
         cells, instructions=instructions, warmup=warmup, jobs=jobs,
-        cache=cache, chunksize=chunksize, outputs=outputs)
+        cache=cache, chunksize=chunksize, outputs=outputs,
+        journal=journal, progress=progress, start_method=start_method)
 
 
 def run_matrix(variants: Optional[Iterable[str]] = None,

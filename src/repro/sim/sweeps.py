@@ -38,38 +38,73 @@ SWEEP_WARMUP = int(os.environ.get("REPRO_SWEEP_WARMUP", "4000"))
 
 def sweep_parameter(parameter: str, benchmarks: Sequence[str],
                     values: Sequence = None,
-                    session: Optional[Session] = None
-                    ) -> Dict[object, float]:
+                    session: Optional[Session] = None,
+                    journal: Optional[str] = None,
+                    progress=None) -> Dict[object, float]:
     """Mean MPKI improvement vs Mini for each value of ``parameter``.
 
     ``session`` carries the caches and merged stat registry the sweep
     runs under; the Mini reference runs once per benchmark and is shared
     (via the session's result cache) with every other sweep using the
-    same session.
+    same session.  ``journal=PATH`` flight-records every cell (the Mini
+    references and each overridden run) as a ``repro-journal-v1`` event
+    stream, with override cells labelled ``mini[<parameter>=<value>]``;
+    ``progress`` receives a live snapshot per cell.  A raising cell is
+    journaled as ``cell_failed`` before the exception propagates — the
+    sweep's relative-improvement math needs every cell, so unlike the
+    matrix runner this path does not continue past failures.
     """
     session = session if session is not None else default_session()
     values = values if values is not None else SWEEPS[parameter]
-    reference = {
-        name: session.run(name, "mini",
-                          instructions=SWEEP_INSTRUCTIONS,
-                          warmup=SWEEP_WARMUP, merge=True)
-        for name in benchmarks
-    }
-    series: Dict[object, float] = {}
-    for value in values:
-        overrides = {parameter: value}
-        if parameter == "prediction_queue_entries":
-            # the queue bounds how far chains run ahead; scale the eager
-            # production cap with it so the sweep actually exercises depth
-            overrides["runahead_limit"] = min(int(value), 32)
-        improvements = []
+    recorder = None
+    if journal is not None or progress is not None:
+        from repro.observe.journal import SweepRecorder
+        plan = [(name, "mini") for name in benchmarks]
+        plan += [(name, f"mini[{parameter}={value}]")
+                 for value in values for name in benchmarks]
+        recorder = SweepRecorder(
+            journal,
+            config=session.config.replace(
+                instructions=SWEEP_INSTRUCTIONS, warmup=SWEEP_WARMUP),
+            cells=plan, jobs=1, outputs="full", progress=progress)
+        recorder.start()
+    from repro.observe.journal import run_recorded
+    index = 0
+    try:
+        reference = {}
         for name in benchmarks:
-            result = session.run(
-                name, "mini",
-                instructions=SWEEP_INSTRUCTIONS,
-                warmup=SWEEP_WARMUP,
-                br_overrides=overrides, merge=True)
-            improvements.append(
-                mpki_improvement(reference[name].mpki, result.mpki))
-        series[value] = arithmetic_mean(improvements)
+            reference[name] = run_recorded(
+                recorder, index, name, "mini",
+                lambda name=name: session.run(
+                    name, "mini", instructions=SWEEP_INSTRUCTIONS,
+                    warmup=SWEEP_WARMUP, merge=True))
+            index += 1
+        series: Dict[object, float] = {}
+        for value in values:
+            overrides = {parameter: value}
+            if parameter == "prediction_queue_entries":
+                # the queue bounds how far chains run ahead; scale the
+                # eager production cap with it so the sweep actually
+                # exercises depth
+                overrides["runahead_limit"] = min(int(value), 32)
+            improvements = []
+            for name in benchmarks:
+                result = run_recorded(
+                    recorder, index, name,
+                    f"mini[{parameter}={value}]",
+                    lambda name=name, overrides=overrides: session.run(
+                        name, "mini", instructions=SWEEP_INSTRUCTIONS,
+                        warmup=SWEEP_WARMUP, br_overrides=overrides,
+                        merge=True))
+                index += 1
+                improvements.append(
+                    mpki_improvement(reference[name].mpki, result.mpki))
+            series[value] = arithmetic_mean(improvements)
+    except BaseException:
+        if recorder is not None:
+            recorder.close()  # truncated journal = incomplete sweep
+        raise
+    else:
+        if recorder is not None:
+            recorder.finish()
     return series

@@ -299,3 +299,43 @@ class TestBaselineCli:
         report = json.loads(report_path.read_text())
         assert not report["ok"]
         assert report["schema"] == ob.CHECK_SCHEMA
+
+
+class TestCommittedBaselines:
+    """The baselines/ directory this repo actually gates CI on."""
+
+    EXPECTED = ("mcf_17", "sjeng_06", "xz_17")
+
+    def test_quick_matrix_benchmarks_are_all_recorded(self):
+        import os
+        names = sorted(name[:-len(".json")]
+                       for name in os.listdir(ob.BASELINE_DIR)
+                       if name.endswith(".json"))
+        assert names == sorted(self.EXPECTED)
+
+    @pytest.mark.parametrize("name", EXPECTED)
+    def test_committed_baseline_shape(self, name):
+        document = json.load(open(f"{ob.BASELINE_DIR}/{name}.json"))
+        assert document["schema"] == ob.BASELINE_SCHEMA
+        assert document["benchmark"] == name
+        assert document["instructions"] == 3000
+        assert document["warmup"] == 1500
+        for variant in ("tage64", "mini", "big"):
+            cell = document["variants"][variant]
+            assert cell["digest"]
+            assert cell["mpki"] >= 0
+        # the stamped manifest must agree with the recorded region
+        config = document["manifest"]["config"]
+        assert config["instructions"] == document["instructions"]
+        assert config["warmup"] == document["warmup"]
+        assert manifest_fingerprint(document["manifest"])
+
+    def test_committed_xz_17_baseline_check_passes(self):
+        report = ob.check_baselines(
+            baseline_dir=ob.BASELINE_DIR, benchmarks=["xz_17"],
+            variants=["tage64", "mini", "big"],
+            instructions=3000, warmup=1500)
+        assert report["checked"] == ["xz_17"]
+        assert report["missing_baselines"] == []
+        assert report["violations"] == []
+        assert report["ok"]

@@ -235,3 +235,109 @@ class TestBenchBaselineFlag:
                          "--baseline", str(tmp_path / "missing.json")])
         assert code == 0
         assert "cannot read baseline" in capsys.readouterr().err
+
+
+class TestJournaledSweeps:
+    """`--journal` + `repro sweep report/watch` end to end."""
+
+    def run_compare(self, tmp_path, benchmarks, jobs="4"):
+        path = tmp_path / "sweep.jsonl"
+        code = cli_main(["compare", *benchmarks,
+                         "--instructions", "1000", "--warmup", "500",
+                         "--jobs", jobs, "--journal", str(path)])
+        return code, str(path)
+
+    def test_parallel_compare_journal_matches_fresh_rows(self, tmp_path,
+                                                         capsys):
+        from repro.config import RunConfig
+        from repro.observe.journal import read_journal
+        from repro.session import Session
+        from repro.sim import experiments
+        from repro.sim.bench import payload_digest
+
+        code, path = self.run_compare(tmp_path, ["sjeng_06", "mcf_06"])
+        assert code == 0
+        assert "ΔMPKI" in capsys.readouterr().out
+        journal = read_journal(path)
+        assert journal["complete"] and not journal["truncated"]
+        finished = [event for event in journal["events"]
+                    if event["event"] == "cell_finished"]
+        assert len(finished) == 4  # 2 benchmarks x (baseline, BR)
+
+        # an independent serial session must reproduce the same digests
+        cells = [(event["benchmark"], event["variant"])
+                 for event in finished]
+        fresh = Session(RunConfig(instructions=1000, warmup=500)) \
+            .run_cells(cells, jobs=1)
+        assert [event["payload_sha256"] for event in finished] == \
+            [payload_digest(row["payload"]) for row in fresh]
+        assert cells == [(name, token) for name in ("sjeng_06", "mcf_06")
+                         for token in (experiments.spec_variant("tage64"),
+                                       experiments.spec_variant(
+                                           "tage64", "mini"))]
+
+    def test_sweep_report_on_a_compare_journal(self, tmp_path, capsys):
+        code, path = self.run_compare(tmp_path, ["sjeng_06"], jobs="2")
+        assert code == 0
+        capsys.readouterr()
+        report_path = tmp_path / "report.json"
+        code = cli_main(["sweep", "report", path, "--json",
+                         "--report", str(report_path)])
+        assert code == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["ok"] and report["drift"]["ok"]
+        assert report["sweep"]["cells_done"] == 2
+        assert json.loads(report_path.read_text()) == report
+
+    def test_failing_cell_exits_nonzero_but_finishes(self, tmp_path,
+                                                     capsys):
+        from repro.observe.journal import read_journal
+        code, path = self.run_compare(tmp_path,
+                                      ["sjeng_06", "no_such_bench"],
+                                      jobs="2")
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "no_such_bench" in captured.err and "failed" in captured.err
+        assert "sjeng_06" in captured.out  # the good benchmark printed
+        kinds = [e["event"] for e in read_journal(path)["events"]]
+        assert kinds.count("cell_failed") == 2
+        assert kinds[-1] == "sweep_finished"
+        capsys.readouterr()
+        assert cli_main(["sweep", "report", path]) == 1
+        assert "UnknownComponentError" in capsys.readouterr().out
+
+    def test_sweep_watch_once(self, tmp_path, capsys):
+        code, path = self.run_compare(tmp_path, ["sjeng_06"], jobs="1")
+        assert code == 0
+        capsys.readouterr()
+        assert cli_main(["sweep", "watch", path, "--once"]) == 0
+        line = capsys.readouterr().out
+        assert "sweep 2/2 cells" in line and "finished" in line
+
+    def test_sweep_watch_once_missing_journal(self, tmp_path, capsys):
+        code = cli_main(["sweep", "watch",
+                         str(tmp_path / "missing.jsonl"), "--once"])
+        assert code == 2
+        assert "journal not found" in capsys.readouterr().err
+
+    def test_sweep_report_rejects_non_journal(self, tmp_path, capsys):
+        path = tmp_path / "nope.jsonl"
+        path.write_text('{"event": "bogus"}\n')
+        assert cli_main(["sweep", "report", str(path)]) == 2
+        assert "not a repro-journal-v1" in capsys.readouterr().err
+
+    def test_bench_journal_and_progress(self, tmp_path, capsys):
+        from repro.observe.journal import read_journal
+        out = tmp_path / "BENCH_run.json"
+        path = tmp_path / "bench.jsonl"
+        code = cli_main(["bench", "--quick", "--benchmarks", "sjeng_06",
+                         "--instructions", "800", "--warmup", "400",
+                         "--jobs", "2", "--out", str(out),
+                         "--journal", str(path), "--progress"])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "sweep" in captured.err  # forced progress on a pipe
+        journal = read_journal(str(path))
+        assert journal["complete"]
+        report = json.loads(out.read_text())
+        assert report["journal"] == str(path)
