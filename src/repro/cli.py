@@ -121,6 +121,12 @@ def _build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--predictor", choices=PREDICTORS.names(sort=True),
                          default="tage64",
                          help="baseline predictor for both sides")
+    compare.add_argument("--predictors", nargs="+", default=None,
+                         choices=PREDICTORS.names(sort=True),
+                         metavar="PREDICTOR",
+                         help="sweep mode: one MPKI column per predictor "
+                         "(no BR side; implies --mpki-only, so grouped "
+                         "cells ride the batched replay kernel)")
     compare.add_argument("--instructions", type=int, default=None)
     compare.add_argument("--warmup", type=int, default=None)
     compare.add_argument("--jobs", type=int, default=None,
@@ -134,6 +140,10 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="flight-record the sweep as a "
                          "repro-journal-v1 JSONL file (see "
                          "`repro sweep report`)")
+    compare.add_argument("--order-from", default=None, metavar="PATH",
+                         help="schedule cells longest-first using "
+                         "wall_seconds from a prior journal of the same "
+                         "sweep (better parallel packing)")
     compare.add_argument("--progress", action="store_true",
                          help="force the live progress line on stderr "
                          "(auto-enabled on a tty)")
@@ -443,9 +453,64 @@ def _progress_callback(force: bool = False):
     return callback
 
 
+def _compare_predictor_sweep(args, run_config, names) -> int:
+    """``compare --predictors``: benchmarks x predictors MPKI sweep.
+
+    Every cell is predictor-only, so each benchmark's group collapses
+    into one batched replay over a single branch-stream pass (see
+    ``Session.run_batch``); the table prints one MPKI column per
+    predictor instead of the base/BR pair.
+    """
+    predictors = list(dict.fromkeys(args.predictors))
+    tokens = [experiments.spec_variant(name) for name in predictors]
+    cells = [(name, token) for name in names for token in tokens]
+    progress = _progress_callback(force=args.progress)
+    try:
+        rows = experiments.run_cells(cells,
+                                     instructions=run_config.instructions,
+                                     warmup=run_config.warmup,
+                                     jobs=args.jobs,
+                                     chunksize=len(tokens),
+                                     outputs="mpki",
+                                     journal=args.journal,
+                                     progress=progress,
+                                     order_from=args.order_from)
+    finally:
+        if progress is not None:
+            progress.finish()
+    failed = [row for row in rows if not row.get("ok", True)]
+    for row in failed:
+        error = row["error"]
+        print(f"repro compare: error: {row['benchmark']}/{row['variant']} "
+              f"failed: {error['type']}: {error['message']}",
+              file=sys.stderr)
+    width = max(8, max(len(name) for name in predictors))
+    if not args.json:
+        print(f"{'benchmark':14s} " + " ".join(
+            f"{name:>{width}s}" for name in predictors))
+    step = len(tokens)
+    for offset in range(0, len(rows), step):
+        group = rows[offset:offset + step]
+        name = group[0]["benchmark"]
+        mpkis = [None if row["payload"] is None else row["payload"]["mpki"]
+                 for row in group]
+        if args.json:
+            print(json.dumps(
+                {"benchmark": name,
+                 "mpki": dict(zip(predictors, mpkis))},
+                sort_keys=True))
+        else:
+            print(f"{name:14s} " + " ".join(
+                f"{'-':>{width}s}" if mpki is None
+                else f"{mpki:>{width}.2f}" for mpki in mpkis))
+    return 1 if failed else 0
+
+
 def _cmd_compare(args) -> int:
     run_config = _resolve_from_args(args).config
     names = args.benchmarks or suite.BENCHMARK_NAMES
+    if args.predictors:
+        return _compare_predictor_sweep(args, run_config, names)
     config_name = _br_config_name(args, run_config, allow_none=False)
     base_token = experiments.spec_variant(args.predictor)
     br_token = experiments.spec_variant(args.predictor, config_name)
@@ -463,7 +528,8 @@ def _cmd_compare(args) -> int:
                                      jobs=args.jobs,
                                      chunksize=2, outputs=outputs,
                                      journal=args.journal,
-                                     progress=progress)
+                                     progress=progress,
+                                     order_from=args.order_from)
     finally:
         if progress is not None:
             progress.finish()

@@ -95,6 +95,8 @@ def _report_row(entry: dict, comparable: bool) -> dict:
             for name in THROUGHPUT_PASSES},
         "mpki_replay_speedup":
             (report.get("mpki_replay") or {}).get("speedup"),
+        "batch_replay_speedup":
+            (report.get("batch_replay") or {}).get("speedup"),
     }
 
 
@@ -173,7 +175,7 @@ def format_trend_report(trend: dict) -> str:
              f"{100 * trend['threshold']:.0f}% below best"]
     header = (f"  {'report':32s} {'cells':>5s} {'jobs':>4s} "
               + "".join(f"{name:>12s}" for name in THROUGHPUT_PASSES)
-              + f" {'replay':>8s}  note")
+              + f" {'replay':>8s} {'batch':>8s}  note")
     lines.append(header)
     for row in trend["reports"]:
         name = os.path.basename(row["path"])
@@ -183,8 +185,9 @@ def format_trend_report(trend: dict) -> str:
         for pass_name in THROUGHPUT_PASSES:
             value = row["throughput"][pass_name]
             line += f"{value:>12,}" if value else f"{'-':>12s}"
-        speedup = row["mpki_replay_speedup"]
-        line += f"{speedup:>7.2f}x" if speedup else f"{'-':>8s}"
+        for key in ("mpki_replay_speedup", "batch_replay_speedup"):
+            speedup = row.get(key)
+            line += f"{speedup:>7.2f}x" if speedup else f"{'-':>8s}"
         note = "" if row["comparable"] else "different matrix (excluded)"
         if row["git_sha"]:
             note = (note + " " if note else "") + f"@{row['git_sha'][:10]}"

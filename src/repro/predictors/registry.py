@@ -21,7 +21,10 @@ from __future__ import annotations
 from typing import Any, Callable
 
 from repro.predictors.base import BranchPredictor
+from repro.predictors.bimodal import BimodalPredictor
+from repro.predictors.gshare import GSharePredictor
 from repro.predictors.mtage import mtage_sc
+from repro.predictors.perceptron import PerceptronPredictor
 from repro.predictors.tage_scl import tage_scl_64kb, tage_scl_80kb
 from repro.registry import Registry
 
@@ -52,3 +55,9 @@ PREDICTORS.register("tage80", tage_scl_80kb, predictor_only=True,
                     description="80KB TAGE-SC-L (Figure 10 iso-storage)")
 PREDICTORS.register("mtage", mtage_sc, predictor_only=True,
                     description="MTAGE-SC (unlimited-storage champion)")
+PREDICTORS.register("bimodal", BimodalPredictor, predictor_only=True,
+                    description="16K-entry 2-bit bimodal table")
+PREDICTORS.register("gshare", GSharePredictor, predictor_only=True,
+                    description="16K-entry gshare, 12 bits of history")
+PREDICTORS.register("perceptron", PerceptronPredictor, predictor_only=True,
+                    description="512-row perceptron, 24 bits of history")

@@ -35,7 +35,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, \
     Tuple
 
 from repro.config import RunConfig, current_config, resolve_jobs
-from repro.sim.predictor_replay import replay_mpki
+from repro.sim.predictor_replay import replay_mpki, replay_mpki_batch
 from repro.sim.results import SimulationResult
 from repro.sim.simulator import simulate
 from repro.sim.trace_cache import TraceCache
@@ -46,6 +46,15 @@ from repro.sim.variants import (
 )
 from repro.telemetry import StatRegistry
 from repro.workloads import suite
+
+#: Set to ``0``/``off``/``no``/``false`` to disable collapsing groups of
+#: predictor-only MPKI cells into one batched replay per benchmark.
+BATCH_REPLAY_ENV = "REPRO_BATCH_REPLAY"
+
+
+def batch_replay_enabled() -> bool:
+    value = (os.environ.get(BATCH_REPLAY_ENV) or "1").strip().lower()
+    return value not in ("0", "off", "no", "false")
 
 
 class Session:
@@ -259,6 +268,52 @@ class Session:
             warmup=warmup if warmup is not None else self.config.warmup,
             trace_cache=self.trace_cache)
 
+    def run_batch(self, benchmark: str, variants: Sequence[str],
+                  instructions: Optional[int] = None,
+                  warmup: Optional[int] = None,
+                  cache: bool = True) -> List[Tuple[object, bool]]:
+        """Run K predictor-only MPKI cells of one benchmark in one pass.
+
+        Returns ``[(result, result_cache_hit), ...]`` in ``variants``
+        order.  Cached cells are served from the result cache under the
+        *same* keys the scalar path uses; the misses replay together via
+        :func:`~repro.sim.predictor_replay.replay_mpki_batch` and are
+        cached individually, so a later scalar ``run(...,
+        outputs="mpki")`` of any member hits.  Raises ``ValueError`` for
+        a variant that is not predictor-only — batched replay cannot
+        model Branch Runahead timing.
+        """
+        instructions = instructions or self.config.instructions
+        warmup = warmup if warmup is not None else self.config.warmup
+        for variant in variants:
+            if not is_predictor_only(variant):
+                raise ValueError(
+                    f"variant {variant!r} is not predictor-only; "
+                    f"batched MPKI replay cannot model it")
+        keys = [(benchmark, variant, instructions, warmup, (), "mpki")
+                for variant in variants]
+        out: List[Optional[Tuple[object, bool]]] = [None] * len(variants)
+        misses: List[int] = []
+        for position, key in enumerate(keys):
+            cached = self._cache_get(key) if cache else None
+            if cached is not None:
+                out[position] = (cached, True)
+            else:
+                misses.append(position)
+        if misses:
+            program = suite.load(benchmark)
+            lanes = [variant_kwargs(variants[position])["predictor"]
+                     for position in misses]
+            results = replay_mpki_batch(program, lanes,
+                                        instructions=instructions,
+                                        warmup=warmup,
+                                        trace_cache=self.trace_cache)
+            for position, result in zip(misses, results):
+                if cache:
+                    self._cache_put(keys[position], result)
+                out[position] = (result, False)
+        return out  # type: ignore[return-value]
+
     def manifest(self, phase_seconds=None) -> dict:
         """This session's run manifest (see :mod:`repro.observe.manifest`).
 
@@ -280,7 +335,8 @@ class Session:
                   merge: bool = False,
                   journal: Optional[str] = None,
                   progress: Optional[Callable[[dict], None]] = None,
-                  start_method: Optional[str] = None) -> List[dict]:
+                  start_method: Optional[str] = None,
+                  order_from: Optional[str] = None) -> List[dict]:
         """Run many ``(benchmark, variant)`` cells, optionally in parallel.
 
         Returns one dict per cell — ``{"benchmark", "variant", "payload",
@@ -304,6 +360,23 @@ class Session:
         every row.  ``start_method`` (or ``REPRO_MP_START``) forces the
         multiprocessing start method; the default prefers ``fork`` and
         falls back to ``spawn``.
+
+        ``order_from=PATH`` names a prior sweep's journal: cells are
+        *executed* longest-wall-first (cells the journal has no timing
+        for go first), which trims the parallel tail when cell costs
+        are skewed — returned rows stay in input order regardless.  An
+        unreadable or non-journal file silently falls back to plan
+        order.
+
+        When ``outputs="mpki"``, groups of two or more predictor-only
+        cells sharing a benchmark collapse into one batched
+        :func:`~repro.sim.predictor_replay.replay_mpki_batch` call (one
+        region load, one stream pass for the whole group) while still
+        producing one row per cell with scalar-identical payloads and
+        result-cache keys.  Set ``REPRO_BATCH_REPLAY=0`` to force the
+        scalar per-cell path; per-cell profiling (``REPRO_PROFILE``)
+        disables batching automatically since a fused group's cells
+        cannot be attributed individually.
         """
         instructions = instructions or self.config.instructions
         warmup = warmup if warmup is not None else self.config.warmup
@@ -333,19 +406,45 @@ class Session:
             "profile": recorder.profile if recorder else None,
             "profile_dir": recorder.profile_dir if recorder else None,
         }
-        tasks = [(task_config, benchmark, variant, instructions, warmup,
-                  cache, outputs, {**meta, "index": index})
-                 for index, (benchmark, variant) in enumerate(cells)]
+        plan = list(enumerate(cells))
+        if order_from is not None:
+            plan = _order_longest_first(plan, order_from)
+        batching = (outputs == "mpki" and len(cells) > 1
+                    and profile_mode is None and batch_replay_enabled())
+        groups: Dict[str, List[Tuple[str, int]]] = {}
+        if batching:
+            for index, (benchmark, variant) in plan:
+                if is_predictor_only(variant):
+                    groups.setdefault(benchmark, []).append(
+                        (variant, index))
+            groups = {benchmark: members
+                      for benchmark, members in groups.items()
+                      if len(members) >= 2}
+        tasks: List[Tuple] = []
+        emitted: set = set()
+        for index, (benchmark, variant) in plan:
+            members = groups.get(benchmark)
+            if members is None or not is_predictor_only(variant):
+                tasks.append((task_config, benchmark, variant,
+                              instructions, warmup, cache, outputs,
+                              {**meta, "index": index}))
+            elif benchmark not in emitted:
+                # the whole group runs at the position of its first
+                # member; rows are re-sorted to input order at the end
+                emitted.add(benchmark)
+                tasks.append((task_config, benchmark, tuple(members),
+                              instructions, warmup, cache, outputs,
+                              {**meta, "index": members[0][1]}))
         rows: List[dict] = []
         try:
             if recorder is not None:
                 recorder.start()
             if jobs <= 1 or len(tasks) <= 1:
                 for task in tasks:
-                    row = _run_cell_in(self, task)
-                    if recorder is not None:
-                        recorder.record_row(row)
-                    rows.append(row)
+                    for row in _run_task_in(self, task):
+                        if recorder is not None:
+                            recorder.record_row(row)
+                        rows.append(row)
             else:
                 import multiprocessing
 
@@ -367,15 +466,16 @@ class Session:
                     chunksize = max(1, (len(tasks) + jobs - 1) // jobs)
                 try:
                     with context.Pool(processes=jobs) as pool:
-                        # ordered imap: rows arrive in input order (the
+                        # ordered imap: rows arrive in task order (the
                         # deterministic merge map preserved), but stream
                         # back as chunks complete instead of at a
                         # whole-sweep barrier
-                        for row in pool.imap(_run_cell, tasks,
-                                             chunksize=chunksize):
-                            if recorder is not None:
-                                recorder.record_row(row)
-                            rows.append(row)
+                        for row_group in pool.imap(_run_task, tasks,
+                                                   chunksize=chunksize):
+                            for row in row_group:
+                                if recorder is not None:
+                                    recorder.record_row(row)
+                                rows.append(row)
                 finally:
                     _worker_sessions.pop(task_config, None)
         except BaseException:
@@ -388,6 +488,9 @@ class Session:
         else:
             if recorder is not None:
                 recorder.finish()
+        # reordering (order_from) and batch grouping both run cells out
+        # of plan sequence; the return contract is input order
+        rows.sort(key=lambda row: row["index"])
         if merge:
             self.registry.merge(merged_registry(rows))
         return rows
@@ -401,7 +504,8 @@ class Session:
                    outputs: str = "full",
                    merged: bool = False,
                    journal: Optional[str] = None,
-                   progress: Optional[Callable[[dict], None]] = None):
+                   progress: Optional[Callable[[dict], None]] = None,
+                   order_from: Optional[str] = None):
         """Run a variant × benchmark matrix; returns nested payload dicts.
 
         ``result[benchmark][variant]`` is the cell's
@@ -424,7 +528,7 @@ class Session:
                               warmup=warmup, jobs=jobs, cache=cache,
                               chunksize=max(1, len(variant_list)),
                               outputs=outputs, journal=journal,
-                              progress=progress)
+                              progress=progress, order_from=order_from)
         matrix: Dict[str, Dict[str, dict]] = {name: {}
                                               for name in benchmark_list}
         for row in rows:
@@ -572,6 +676,116 @@ def _run_cell_in(session: Session, task: Tuple) -> dict:
     }
 
 
+def _run_batch_in(session: Session, task: Tuple) -> List[dict]:
+    """Run one batched group of predictor-only MPKI cells; one row each.
+
+    The task's variant slot holds ``((variant, index), ...)`` instead of
+    a single variant string.  Cached members are served under their
+    scalar result-cache keys; the misses replay together through
+    :func:`~repro.sim.predictor_replay.replay_mpki_batch` and are cached
+    individually.  Row shape mirrors :func:`_run_cell_in` member for
+    member — the batch's wall time is attributed evenly across members
+    (``cell.batch_size`` marks the fusion), the peak-RSS delta lands on
+    the first row only (it is a process-wide measurement), and a member
+    whose variant fails to resolve errors alone while a failure of the
+    shared replay errors every non-cached member.
+    """
+    (_, benchmark, members, instructions, warmup, use_result_cache,
+     outputs) = task[:7]
+    meta = task[7] if len(task) > 7 else {}
+    trace_cache = session.trace_cache
+    hits_before = trace_cache.hits
+    rss_before = _peak_rss_kb()
+    started_at = time.time()
+    tick = time.perf_counter()
+
+    def structured(exc: Exception) -> dict:
+        return {"type": type(exc).__name__, "message": str(exc),
+                "traceback": _traceback.format_exc()}
+
+    cached: Dict[int, object] = {}
+    computed: Dict[int, object] = {}
+    errors: Dict[int, dict] = {}
+    lanes: List[Tuple[int, Tuple, object]] = []
+    for variant, index in members:
+        key = (benchmark, variant, instructions, warmup, (), "mpki")
+        if use_result_cache:
+            hit = session._cache_get(key)
+            if hit is not None:
+                cached[index] = hit
+                continue
+        try:
+            lanes.append((index, key, variant_kwargs(variant)["predictor"]))
+        except Exception as exc:
+            errors[index] = structured(exc)
+    if lanes:
+        try:
+            program = suite.load(benchmark)
+            results = replay_mpki_batch(
+                program, [predictor for _, _, predictor in lanes],
+                instructions=instructions, warmup=warmup,
+                trace_cache=trace_cache)
+        except Exception as exc:
+            error = structured(exc)
+            for index, _, _ in lanes:
+                errors[index] = error
+        else:
+            for (index, key, _), result in zip(lanes, results):
+                computed[index] = result
+                if use_result_cache:
+                    session._cache_put(key, result)
+    wall = time.perf_counter() - tick
+    rss_after = _peak_rss_kb()
+    rss_delta = (rss_after - rss_before if rss_after is not None
+                 and rss_before is not None else None)
+    share = round(wall / max(1, len(members)), 6)
+    group_hit = trace_cache.hits > hits_before
+    sweep_id = meta.get("sweep_id")
+    announce = (meta.get("announce") and sweep_id is not None
+                and sweep_id not in _announced_sweeps)
+    if announce:
+        _announced_sweeps.add(sweep_id)
+    rows: List[dict] = []
+    for position, (variant, index) in enumerate(members):
+        error = errors.get(index)
+        result = cached.get(index) if index in cached \
+            else computed.get(index)
+        payload = registry_state = None
+        if error is None and result is not None:
+            payload = result.to_dict()
+            registry_state = result.build_registry().to_state()
+        worker: dict = {"pid": os.getpid(), "manifest": None}
+        if announce and position == 0:
+            from repro.observe.manifest import run_manifest
+            worker["manifest"] = run_manifest(task[0])
+        rows.append({
+            "benchmark": benchmark,
+            "variant": variant,
+            "index": index,
+            "ok": error is None,
+            "error": error,
+            "payload": payload,
+            "registry_state": registry_state,
+            "trace_cache_hit": group_hit and index not in cached,
+            "result_cache_hit": index in cached,
+            "cell": {
+                "started_at": round(started_at, 6),
+                "wall_seconds": share,
+                "peak_rss_kb_delta": rss_delta if position == 0 else None,
+                "batch_size": len(members),
+            },
+            "worker": worker,
+        })
+    return rows
+
+
+def _run_task_in(session: Session, task: Tuple) -> List[dict]:
+    """Run one task — a single cell or a batched group — as row dicts."""
+    if isinstance(task[2], tuple):
+        return _run_batch_in(session, task)
+    return [_run_cell_in(session, task)]
+
+
 def _run_cell(task: Tuple) -> dict:
     """Worker entry: module-level so fork *and* spawn pools can pickle it.
 
@@ -581,6 +795,41 @@ def _run_cell(task: Tuple) -> dict:
     fork-start workers their inherited warm session.
     """
     return _run_cell_in(_session_for_config(task[0]), task)
+
+
+def _run_task(task: Tuple) -> List[dict]:
+    """Worker entry for mixed scalar/batched sweeps (see ``_run_cell``)."""
+    return _run_task_in(_session_for_config(task[0]), task)
+
+
+def _order_longest_first(plan: List[Tuple[int, Tuple[str, str]]],
+                         journal_path: str
+                         ) -> List[Tuple[int, Tuple[str, str]]]:
+    """Reorder an indexed cell plan by a prior journal's wall seconds.
+
+    Longest first; cells the journal never timed sort ahead of timed
+    ones (an unknown cell may be arbitrarily expensive, so schedule it
+    before the known-long tail).  Ties and unknowns keep plan order (the
+    sort is stable).  Any read or parse failure returns the plan as-is:
+    ordering is a scheduling hint, never a correctness input.
+    """
+    from repro.observe.journal import read_journal
+    try:
+        journal = read_journal(journal_path)
+    except (OSError, ValueError):
+        return plan
+    walls: Dict[Tuple[str, str], float] = {}
+    for event in journal["events"]:
+        if event.get("event") not in ("cell_finished", "cell_failed"):
+            continue
+        wall = event.get("wall_seconds")
+        if wall is not None and event.get("benchmark") is not None:
+            walls[(event["benchmark"], event["variant"])] = wall
+    if not walls:
+        return plan
+    infinity = float("inf")
+    return sorted(plan,
+                  key=lambda item: -walls.get(item[1], infinity))
 
 
 def merged_registry(rows: Iterable[dict]) -> StatRegistry:

@@ -9,7 +9,14 @@ Times the experiment matrix over the same cells:
    the ``REPRO_JOBS`` parallel runner;
 3. **mpki_replay** — the predictor-only subset of the matrix rerun through
    the MPKI-only replay path (``outputs="mpki"``), timed against the same
-   cells' baseline wall time.
+   cells' baseline wall time;
+4. **batch_replay** — a fixed multi-predictor microbench: a 40-lane
+   bimodal/gshare configuration sweep over one ``mcf_17`` region, timed
+   lane-at-a-time through scalar :func:`~repro.sim.predictor_replay.
+   replay_mpki` and then in one :func:`~repro.sim.predictor_replay.
+   replay_mpki_batch` call.  Branch columns are prewarmed off-clock so
+   both phases measure predictor work, not trace emulation, and every
+   lane's payload digest must match its scalar twin.
 
 Because trace-cache replays are bit-identical to live emulation and the
 parallel merge is deterministic, passes 1 and 2 must produce byte-equal
@@ -17,7 +24,7 @@ result payloads (host wall-clock timings excluded) — the harness hashes
 every cell and **fails on drift**, making it a correctness gate as well as
 a perf report.  The replay pass reports no cycles by construction, so its
 gate is exact MPKI equality against the baseline documents.  The report is
-written as ``BENCH_run.json`` (schema ``repro-bench-v3``, stamped with a
+written as ``BENCH_run.json`` (schema ``repro-bench-v4``, stamped with a
 :mod:`repro.observe.manifest` run manifest) so CI can archive a history of
 simulator throughput; :func:`compare_to_baseline` diffs a fresh report
 against a committed one (``BENCH_seed.json``) — warn-only by default,
@@ -31,6 +38,7 @@ simulator's own timers, and trace-cache hit counts.
 
 from __future__ import annotations
 
+import gc
 import hashlib
 import json
 import time
@@ -38,12 +46,20 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro import config as repro_config
 from repro.observe.manifest import run_manifest
+from repro.predictors.batched import warm_backend
+from repro.predictors.bimodal import BimodalPredictor
+from repro.predictors.gshare import GSharePredictor
 from repro.session import Session
 from repro.sim import experiments
+from repro.sim.predictor_replay import (
+    load_branch_columns,
+    replay_mpki,
+    replay_mpki_batch,
+)
 from repro.sim.simulator import simulate
 from repro.workloads import suite
 
-SCHEMA = "repro-bench-v3"
+SCHEMA = "repro-bench-v4"
 
 #: ``compare_to_baseline``: relative uops/sec regression that triggers a
 #: warning.  Warn-only — shared CI runners are too noisy for a hard gate.
@@ -55,6 +71,28 @@ QUICK_VARIANTS = ["tage64", "mini", "big"]
 QUICK_BENCHMARKS = ["sjeng_06", "mcf_17"]
 QUICK_INSTRUCTIONS = 3_000
 QUICK_WARMUP = 1_500
+
+#: Batch-replay microbench (pass 4).  A fixed region and lane set —
+#: independent of ``--quick`` — so the recorded speedup is comparable
+#: across reports.  The region is long enough (~24K measured branches on
+#: ``mcf_17``) that per-lane kernel work, not per-call overhead,
+#: dominates both phases.
+BATCH_REPLAY_BENCHMARK = "mcf_17"
+BATCH_REPLAY_INSTRUCTIONS = 300_000
+BATCH_REPLAY_WARMUP = 20_000
+BATCH_REPLAY_BIMODAL_SIZES = (10, 12, 14, 16)
+BATCH_REPLAY_GSHARE_SIZES = (10, 12, 13, 14, 15, 16)
+BATCH_REPLAY_GSHARE_HISTORIES = (4, 6, 8, 10, 12, 16)
+
+
+def batch_replay_predictors() -> list:
+    """Fresh instances of the 40-lane batch-replay microbench sweep."""
+    lanes = [BimodalPredictor(size_log2=size)
+             for size in BATCH_REPLAY_BIMODAL_SIZES]
+    lanes.extend(GSharePredictor(size_log2=size, history_bits=history)
+                 for size in BATCH_REPLAY_GSHARE_SIZES
+                 for history in BATCH_REPLAY_GSHARE_HISTORIES)
+    return lanes
 
 
 def strip_host(payload: dict) -> dict:
@@ -92,6 +130,68 @@ def _pass_report(wall: float, payloads: List[dict], uops: int) -> dict:
         "uops_per_second": round(uops / wall) if wall > 0 else None,
         "host_phase_seconds": _phase_seconds(payloads),
     }
+
+
+def _run_batch_replay_pass(run_config) -> Tuple[dict, List[str]]:
+    """Pass 4: scalar-vs-batched multi-predictor replay microbench.
+
+    Returns the pass report and the mismatched-lane list for the drift
+    gate.  Both phases replay the *same* prewarmed branch columns, so the
+    measured ratio is pure predictor-kernel speedup.
+    """
+    program = suite.load(BATCH_REPLAY_BENCHMARK)
+    session = Session(run_config.replace(
+        instructions=BATCH_REPLAY_INSTRUCTIONS, warmup=BATCH_REPLAY_WARMUP))
+    trace_cache = session.trace_cache
+    total = BATCH_REPLAY_INSTRUCTIONS + BATCH_REPLAY_WARMUP
+    # prewarm off-clock: the one functional emulation of the region and
+    # the batch backend's one-time costs (numpy import, scan LUT) must
+    # not be billed to either phase
+    load_branch_columns(program, 0, total, trace_cache=trace_cache)
+    warm_backend()
+
+    # neither phase should be billed GC passes over *other* work's live
+    # heap (the earlier bench passes' payloads, then the scalar phase's
+    # 40 result objects): collect and freeze the survivors each time
+    gc.collect()
+    gc.freeze()
+    try:
+        start = time.perf_counter()
+        scalar_results = [
+            replay_mpki(program, predictor,
+                        instructions=BATCH_REPLAY_INSTRUCTIONS,
+                        warmup=BATCH_REPLAY_WARMUP, trace_cache=trace_cache)
+            for predictor in batch_replay_predictors()]
+        scalar_wall = time.perf_counter() - start
+
+        gc.collect()
+        gc.freeze()
+        start = time.perf_counter()
+        batch_results = replay_mpki_batch(
+            program, batch_replay_predictors(),
+            instructions=BATCH_REPLAY_INSTRUCTIONS,
+            warmup=BATCH_REPLAY_WARMUP, trace_cache=trace_cache)
+        batch_wall = time.perf_counter() - start
+    finally:
+        gc.unfreeze()
+
+    mismatched = []
+    for lane, (scalar, batch) in enumerate(zip(scalar_results,
+                                               batch_results)):
+        if payload_digest(batch.to_dict()) != payload_digest(
+                scalar.to_dict()):
+            mismatched.append(
+                f"{BATCH_REPLAY_BENCHMARK}/lane{lane} (batch)")
+    speedup = scalar_wall / batch_wall if batch_wall > 0 else None
+    return {
+        "benchmark": BATCH_REPLAY_BENCHMARK,
+        "lanes": len(scalar_results),
+        "instructions": BATCH_REPLAY_INSTRUCTIONS,
+        "warmup": BATCH_REPLAY_WARMUP,
+        "wall_seconds": round(batch_wall, 6),
+        "scalar_wall_seconds": round(scalar_wall, 6),
+        "speedup": round(speedup, 3) if speedup else None,
+    }, mismatched
 
 
 def resolve_jobs(jobs: Optional[int] = None) -> int:
@@ -206,6 +306,9 @@ def run_bench(benchmarks: Optional[List[str]] = None,
             "speedup": round(mpki_speedup, 3) if mpki_speedup else None,
         }
 
+    # -- pass 4: batched multi-predictor replay microbench ------------------
+    batch_report, batch_mismatched = _run_batch_replay_pass(run_config)
+
     # -- drift gate --------------------------------------------------------
     digests: Dict[str, str] = {}
     mismatched: List[str] = []
@@ -217,11 +320,13 @@ def run_bench(benchmarks: Optional[List[str]] = None,
         if payload_digest(opt) != base_digest:
             mismatched.append(name)
     mismatched.extend(f"{name} (mpki)" for name in mpki_mismatched)
+    mismatched.extend(batch_mismatched)
 
     speedup = baseline_wall / optimized_wall if optimized_wall > 0 else None
     pass_walls = {"baseline": baseline_wall, "optimized": optimized_wall}
     if mpki_report:
         pass_walls["mpki_replay"] = mpki_report["wall_seconds"]
+    pass_walls["batch_replay"] = batch_report["wall_seconds"]
     return {
         "schema": SCHEMA,
         "manifest": run_manifest(run_config, phase_seconds=pass_walls),
@@ -244,6 +349,7 @@ def run_bench(benchmarks: Optional[List[str]] = None,
             if cells else None,
         },
         "mpki_replay": mpki_report,
+        "batch_replay": batch_report,
         "speedup": round(speedup, 3) if speedup else None,
         "drift": {"ok": not mismatched, "mismatched_cells": mismatched},
         "digests": digests,
@@ -278,6 +384,13 @@ def format_report(report: dict) -> str:
             f"{replay['cells']} predictor-only cell(s) "
             f"(vs {replay['baseline_wall_seconds']:.3f}s full-timing, "
             f"{replay['speedup']:.2f}x)")
+    batch = report.get("batch_replay")
+    if batch:
+        lines.append(
+            f"  batched  : {batch['wall_seconds']:.3f}s for "
+            f"{batch['lanes']} lanes on {batch['benchmark']} "
+            f"(vs {batch['scalar_wall_seconds']:.3f}s lane-at-a-time, "
+            f"{batch['speedup']:.2f}x)")
     drift = report["drift"]
     if drift["ok"]:
         lines.append("  drift    : none (all cell digests match)")
@@ -316,14 +429,16 @@ def compare_to_baseline(report: dict, baseline_report: dict,
                 f"{pass_name} throughput {current:,} uops/s is "
                 f"{100 * (1 - ratio):.0f}% below the committed baseline "
                 f"{committed:,} uops/s")
-    current_speedup = (report.get("mpki_replay") or {}).get("speedup")
-    committed_speedup = (baseline_report.get("mpki_replay") or {}).get(
-        "speedup")
-    if current_speedup and committed_speedup:
+    for pass_name in ("mpki_replay", "batch_replay"):
+        current_speedup = (report.get(pass_name) or {}).get("speedup")
+        committed_speedup = (baseline_report.get(pass_name) or {}).get(
+            "speedup")
+        if not current_speedup or not committed_speedup:
+            continue
         ratio = current_speedup / committed_speedup
         if ratio < 1.0 - fraction:
             warnings.append(
-                f"mpki_replay speedup {current_speedup:.2f}x is "
+                f"{pass_name} speedup {current_speedup:.2f}x is "
                 f"{100 * (1 - ratio):.0f}% below the committed baseline "
                 f"{committed_speedup:.2f}x")
     return warnings

@@ -1,0 +1,174 @@
+"""Compact columnar branch-event storage (the MPKI sweep working set).
+
+The MPKI-only replay path (:mod:`repro.sim.predictor_replay`) consumes
+exactly one projection of a recorded region: the committed conditional
+branches as ``(region_index, pc, taken)``.  Keeping that projection as a
+list of tuples is fine for one predictor, but a K-predictor sweep wants
+the columns directly — the batched replay kernel indexes ``pcs`` and
+``takens`` as flat vectors — and re-deriving it from pickled
+:class:`~repro.emulator.trace.DynamicUop` records after every disk
+reload repays the full unpickle cost just to throw away everything but
+three fields per branch.
+
+:class:`BranchColumns` is the columnar form: three parallel columns
+(``indices``/``pcs`` as ``array('I')``, ``takens`` as a ``bytearray`` of
+0/1) plus the region's total record count (the replay path needs it for
+warmup-truncation semantics).  ``events()`` materializes the classic
+tuple list lazily and memoizes it, so scalar consumers keep their exact
+shape while batch consumers never pay for it.
+
+On disk the columns live in ``.events`` sidecar files next to the trace
+cache's ``.trace`` entries, under the same content-sha256 filename +
+atomic-rename discipline: a little-endian ``RPBE`` magic, a u16 format
+version, the sha256 of the payload, then the payload (program
+fingerprint, record/event counts, and the three raw columns).  Any
+truncation, digest mismatch, or version skew raises ``ValueError`` so
+the cache layer can treat it as a clean counted miss — never a crash.
+A sidecar is ~9 bytes per branch versus ~100+ per record in the pickle,
+and reading it never touches ``pickle`` at all.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import struct
+import sys
+from array import array
+from typing import Iterable, List, Optional, Tuple
+
+from repro.emulator.trace import DynamicUop
+from repro.isa.uop import KIND_COND_BRANCH
+
+#: ``(region_index, pc, taken)`` per committed conditional branch — the
+#: tuple shape the scalar replay loop and existing tests consume.
+BranchEvent = Tuple[int, int, bool]
+
+#: Sidecar format version; participates in the filename *and* the header,
+#: so old files are never found and would be rejected if renamed.
+EVENT_FORMAT_VERSION = 1
+
+_MAGIC = b"RPBE"
+_HEADER_LEN = len(_MAGIC) + 2 + 32  # magic + u16 version + payload sha256
+_COUNTS = struct.Struct("<QQ")  # record_count, event_count
+
+# 'I' is guaranteed >= 2 bytes only; every supported platform makes it 4,
+# which the fixed-width disk layout depends on.
+_U32 = "I" if array("I").itemsize == 4 else "L"
+assert array(_U32).itemsize == 4, "no 4-byte unsigned array typecode"
+
+
+class BranchColumns:
+    """Columnar branch events of one region, plus its record count."""
+
+    __slots__ = ("indices", "pcs", "takens", "record_count", "_events")
+
+    def __init__(self, indices: array, pcs: array, takens: bytearray,
+                 record_count: int):
+        self.indices = indices
+        self.pcs = pcs
+        self.takens = takens
+        self.record_count = record_count
+        self._events: Optional[List[BranchEvent]] = None
+
+    def __len__(self) -> int:
+        return len(self.indices)
+
+    def events(self) -> List[BranchEvent]:
+        """The classic tuple list, materialized once and memoized."""
+        if self._events is None:
+            self._events = list(zip(self.indices, self.pcs,
+                                    map(bool, self.takens)))
+        return self._events
+
+
+def extract_columns(records: Iterable[DynamicUop],
+                    record_count: Optional[int] = None) -> BranchColumns:
+    """Project a committed record sequence down to its branch columns.
+
+    ``record_count`` defaults to ``len(records)``; pass it explicitly when
+    ``records`` is a plain iterable.
+    """
+    indices = array(_U32)
+    pcs = array(_U32)
+    takens = bytearray()
+    count = 0
+    for index, record in enumerate(records):
+        count += 1
+        if record.uop.kind == KIND_COND_BRANCH:
+            indices.append(index)
+            pcs.append(record.pc)
+            takens.append(1 if record.taken else 0)
+    if record_count is None:
+        record_count = count
+    return BranchColumns(indices, pcs, takens, record_count)
+
+
+# -- disk sidecar ------------------------------------------------------------
+
+def _pack(columns: BranchColumns, fingerprint: str) -> bytes:
+    indices, pcs = columns.indices, columns.pcs
+    if sys.byteorder == "big":  # pragma: no cover - little-endian hosts
+        indices, pcs = array(_U32, indices), array(_U32, pcs)
+        indices.byteswap()
+        pcs.byteswap()
+    return b"".join((
+        bytes.fromhex(fingerprint),
+        _COUNTS.pack(columns.record_count, len(columns)),
+        indices.tobytes(), pcs.tobytes(), bytes(columns.takens),
+    ))
+
+
+def write_columns(path: str, columns: BranchColumns,
+                  fingerprint: str) -> bool:
+    """Atomically write a sidecar; returns False (never raises) on OSError.
+
+    Same-directory temp file + ``os.replace``, exactly the ``.trace``
+    discipline: concurrent workers spilling the same region can never
+    expose a half-written file.
+    """
+    try:
+        payload = _pack(columns, fingerprint)
+        header = (_MAGIC + EVENT_FORMAT_VERSION.to_bytes(2, "little")
+                  + hashlib.sha256(payload).digest())
+        temp_path = f"{path}.tmp.{os.getpid()}"
+        with open(temp_path, "wb") as handle:
+            handle.write(header)
+            handle.write(payload)
+        os.replace(temp_path, path)
+        return True
+    except OSError:
+        return False
+
+
+def read_columns(blob: bytes, fingerprint: str) -> BranchColumns:
+    """Decode a sidecar blob; raises ValueError on any damage or mismatch."""
+    if len(blob) < _HEADER_LEN or not blob.startswith(_MAGIC):
+        raise ValueError("bad magic or truncated header")
+    version = int.from_bytes(blob[4:6], "little")
+    if version != EVENT_FORMAT_VERSION:
+        raise ValueError(f"event format version {version}")
+    payload = blob[_HEADER_LEN:]
+    if hashlib.sha256(payload).digest() != blob[6:_HEADER_LEN]:
+        raise ValueError("payload digest mismatch")
+    if payload[:32] != bytes.fromhex(fingerprint):
+        raise ValueError("program fingerprint mismatch")
+    record_count, event_count = _COUNTS.unpack_from(payload, 32)
+    offset = 32 + _COUNTS.size
+    column_bytes = event_count * 4
+    expected = offset + 2 * column_bytes + event_count
+    if len(payload) != expected:
+        raise ValueError("payload length mismatch")
+    indices = array(_U32)
+    indices.frombytes(payload[offset:offset + column_bytes])
+    offset += column_bytes
+    pcs = array(_U32)
+    pcs.frombytes(payload[offset:offset + column_bytes])
+    offset += column_bytes
+    if sys.byteorder == "big":  # pragma: no cover - little-endian hosts
+        indices.byteswap()
+        pcs.byteswap()
+    takens = bytearray(payload[offset:])
+    if takens and not set(takens) <= {0, 1}:
+        raise ValueError("taken column holds non-boolean bytes")
+    return BranchColumns(indices, pcs, takens, record_count)

@@ -98,12 +98,14 @@ def run_cells(cells: Sequence[Tuple[str, str]],
               outputs: str = "full",
               journal: Optional[str] = None,
               progress=None,
-              start_method: Optional[str] = None) -> List[dict]:
+              start_method: Optional[str] = None,
+              order_from: Optional[str] = None) -> List[dict]:
     """Run cells in the default session (see :meth:`Session.run_cells`)."""
     return default_session().run_cells(
         cells, instructions=instructions, warmup=warmup, jobs=jobs,
         cache=cache, chunksize=chunksize, outputs=outputs,
-        journal=journal, progress=progress, start_method=start_method)
+        journal=journal, progress=progress, start_method=start_method,
+        order_from=order_from)
 
 
 def run_matrix(variants: Optional[Iterable[str]] = None,
@@ -113,12 +115,13 @@ def run_matrix(variants: Optional[Iterable[str]] = None,
                jobs: Optional[int] = None,
                cache: bool = True,
                outputs: str = "full",
-               merged: bool = False):
+               merged: bool = False,
+               order_from: Optional[str] = None):
     """Run a matrix in the default session (see :meth:`Session.run_matrix`)."""
     return default_session().run_matrix(
         variants=variants, benchmarks=benchmarks, instructions=instructions,
         warmup=warmup, jobs=jobs, cache=cache, outputs=outputs,
-        merged=merged)
+        merged=merged, order_from=order_from)
 
 
 def simulate(benchmark, **kwargs) -> SimulationResult:
@@ -134,6 +137,11 @@ def simulate(benchmark, **kwargs) -> SimulationResult:
 def replay_mpki(benchmark: str, predictor, **kwargs):
     """MPKI-only replay in the default session (:meth:`Session.replay_mpki`)."""
     return default_session().replay_mpki(benchmark, predictor, **kwargs)
+
+
+def run_batch(benchmark: str, variants: Sequence[str], **kwargs):
+    """Batched MPKI replay in the default session (:meth:`Session.run_batch`)."""
+    return default_session().run_batch(benchmark, variants, **kwargs)
 
 
 def _run_cell(task: Tuple) -> dict:

@@ -29,44 +29,37 @@ from __future__ import annotations
 
 from bisect import bisect_left
 from collections import Counter, deque
-from typing import List, Optional, Tuple, Union
+from contextlib import ExitStack
+from typing import List, Optional, Sequence, Tuple, Union
 
 from repro.emulator.machine import Machine
 from repro.isa.program import Program
-from repro.isa.uop import KIND_COND_BRANCH
 from repro.predictors.base import BranchPredictor
+from repro.predictors.batched import replay_lanes
+from repro.sim.branch_events import BranchColumns, BranchEvent, \
+    extract_columns
 from repro.sim.trace_cache import TraceCache
 from repro.telemetry import StatRegistry, Telemetry
 from repro.uarch.stats import CoreStats
 
-#: ``(region_index, pc, taken)`` per committed conditional branch.
-BranchEvent = Tuple[int, int, bool]
 
+def load_branch_columns(program: Program, start: int, total: int,
+                        trace_cache: Optional[TraceCache] = None
+                        ) -> BranchColumns:
+    """The region's committed branch stream, in columnar form.
 
-def branch_events(program: Program, start: int, total: int,
-                  trace_cache: Optional[TraceCache] = None
-                  ) -> Tuple[List[BranchEvent], int]:
-    """The region's committed branch stream plus its record count.
-
-    With a trace cache the region is recorded on first use (functional
-    emulation only — no timing model) and the extracted events are memoized
-    on the cache entry; without one a throwaway emulation feeds a one-shot
-    extraction.
+    With a trace cache the chain is: memoized columns on a warm entry, the
+    compact ``.events`` disk sidecar (no unpickling), the full ``.trace``
+    entry, and finally one functional emulation recorded for next time.
+    Without a cache a throwaway emulation feeds a one-shot extraction.
     """
     if trace_cache is None:
         machine = Machine(program)
         if start:
             machine.fast_forward(start)
-        events: List[BranchEvent] = []
-        count = 0
-        for index, record in enumerate(machine.stream(total)):
-            count += 1
-            if record.uop.kind == KIND_COND_BRANCH:
-                events.append((index, record.pc, record.taken))
-        return events, count
-
-    entry = trace_cache.lookup(program, start, total)
-    if entry is None:
+        return extract_columns(machine.stream(total))
+    columns = trace_cache.branch_columns(program, start, total)
+    if columns is None:
         machine = Machine(program)
         if start:
             machine.fast_forward(start)
@@ -74,12 +67,22 @@ def branch_events(program: Program, start: int, total: int,
         # recording generator stores them as its side effect
         deque(trace_cache.record(machine, start, total,
                                  machine.stream(total)), maxlen=0)
-        entry = trace_cache.lookup(program, start, total, count=False)
-    if entry.branch_events is None:
-        entry.branch_events = [(index, record.pc, record.taken)
-                               for index, record in enumerate(entry.records)
-                               if record.uop.kind == KIND_COND_BRANCH]
-    return entry.branch_events, len(entry.records)
+        columns = trace_cache.branch_columns(program, start, total,
+                                             count=False)
+    return columns
+
+
+def branch_events(program: Program, start: int, total: int,
+                  trace_cache: Optional[TraceCache] = None
+                  ) -> Tuple[List[BranchEvent], int]:
+    """The region's branch stream as tuples, plus its record count.
+
+    Classic tuple view over :func:`load_branch_columns`; the list is
+    memoized on the columns (and hence on the cache entry), so repeated
+    calls on a warm region return the same object.
+    """
+    columns = load_branch_columns(program, start, total, trace_cache)
+    return columns.events(), columns.record_count
 
 
 class PredictorReplayResult:
@@ -203,8 +206,9 @@ def replay_mpki(program: Program,
         telemetry = Telemetry()
     total = instructions + warmup
     with telemetry.timers.phase("setup"):
-        events, record_count = branch_events(program, start_instruction,
-                                             total, trace_cache)
+        columns = load_branch_columns(program, start_instruction, total,
+                                      trace_cache)
+        events, record_count = columns.events(), columns.record_count
     stats = CoreStats()
     warmed = warmup > 0 and record_count > warmup
     boundary = warmup if warmed else 0
@@ -234,3 +238,78 @@ def replay_mpki(program: Program,
     return PredictorReplayResult(program.name, predictor, stats,
                                  trace_cache=trace_cache,
                                  telemetry=telemetry)
+
+
+def replay_mpki_batch(program: Program,
+                      predictors: Sequence[Union[BranchPredictor, str]],
+                      instructions: int, warmup: int = 0,
+                      start_instruction: int = 0,
+                      trace_cache: Optional[TraceCache] = None
+                      ) -> List[PredictorReplayResult]:
+    """Replay one branch stream through K predictor configurations.
+
+    The batched twin of :func:`replay_mpki`: one region load, one pass of
+    the committed branch stream advancing every lane (vectorized kernels
+    per predictor family where applicable, lockstep otherwise — see
+    :mod:`repro.predictors.batched`), then one
+    :class:`PredictorReplayResult` per lane.  Every lane's MPKI,
+    mispredict counts, per-PC breakdowns, and (host-stripped) payload are
+    bit-identical to a scalar ``replay_mpki`` call with the same
+    arguments; ``tests/test_batch_replay.py`` pins this differentially
+    for every registered predictor.
+
+    Like the scalar path this is only valid for *predictor-only* cells.
+    One batch-specific caveat: a lane that took a vectorized kernel keeps
+    its prediction evolution in the kernel's own arrays, so the predictor
+    *instance's* table state is left unspecified — treat lane predictors
+    as consumed by this call.
+    """
+    resolved: List[BranchPredictor] = []
+    for predictor in predictors:
+        if isinstance(predictor, str):
+            from repro.predictors.registry import make_predictor
+            predictor = make_predictor(predictor)
+        resolved.append(predictor)
+    telemetries = [Telemetry() for _ in resolved]
+    total = instructions + warmup
+    with ExitStack() as stack:
+        for telemetry in telemetries:
+            stack.enter_context(telemetry.timers.phase("setup"))
+        columns = load_branch_columns(program, start_instruction, total,
+                                      trace_cache)
+    record_count = columns.record_count
+    warmed = warmup > 0 and record_count > warmup
+    boundary = warmup if warmed else 0
+    with ExitStack() as stack:
+        for telemetry in telemetries:
+            stack.enter_context(telemetry.timers.phase("mpki_replay"))
+        split = bisect_left(columns.indices, boundary)
+        lanes = replay_lanes(resolved, columns.pcs, columns.takens,
+                             split)
+    # measured-stream aggregates are lane-independent: count them once
+    cond_branches = len(columns.pcs) - split
+    taken_branches = int(sum(columns.takens[split:]))
+    shared_counts = Counter(columns.pcs[split:].tolist())
+    # equivalent lanes (the kernel dedupes configurations that induce the
+    # same table partition) return the same mispredict-list object, so
+    # the per-PC count is built once per unique list
+    counted: dict = {}
+    results: List[PredictorReplayResult] = []
+    for predictor, telemetry, mispredicted in zip(resolved, telemetries,
+                                                  lanes):
+        key = id(mispredicted)
+        if key not in counted:
+            counted[key] = Counter(mispredicted)
+        stats = CoreStats()
+        stats.cond_branches = cond_branches
+        stats.taken_branches = taken_branches
+        stats.mispredicts = len(mispredicted)
+        stats.baseline_mispredicts = stats.mispredicts
+        stats.branch_counts.update(shared_counts)
+        stats.branch_mispredicts.update(counted[key])
+        stats.instructions = record_count - boundary
+        stats.warmup_truncated = warmup > 0 and not warmed
+        results.append(PredictorReplayResult(
+            program.name, predictor, stats, trace_cache=trace_cache,
+            telemetry=telemetry))
+    return results

@@ -53,6 +53,13 @@ from repro.emulator.trace import DynamicUop
 from repro.isa import uop as U
 from repro.isa.program import Program
 from repro.isa.registers import CC
+from repro.sim.branch_events import (
+    EVENT_FORMAT_VERSION,
+    BranchColumns,
+    extract_columns,
+    read_columns,
+    write_columns,
+)
 
 #: Default LRU capacity (regions, not uops) when ``REPRO_TRACE_CACHE`` is
 #: unset.  A full benchmark suite sweep touches one region per benchmark.
@@ -95,7 +102,7 @@ class TraceEntry:
 
     __slots__ = ("program", "start", "total", "records", "pre_memory",
                  "start_regs", "start_pc", "start_seq",
-                 "final_pc", "final_seq", "halted", "branch_events")
+                 "final_pc", "final_seq", "halted", "branch_columns")
 
     def __init__(self, program: Program, start: int, total: int,
                  records: List[DynamicUop], pre_memory: Memory,
@@ -112,10 +119,22 @@ class TraceEntry:
         self.final_pc = final_pc
         self.final_seq = final_seq
         self.halted = halted
-        #: Lazily extracted ``(region_index, pc, taken)`` tuples for the
-        #: conditional branches of the region (the MPKI-only replay path's
-        #: working set); None until :mod:`repro.sim.predictor_replay` asks.
-        self.branch_events = None
+        #: Lazily extracted :class:`~repro.sim.branch_events.BranchColumns`
+        #: for the region (the MPKI-only replay path's working set); None
+        #: until :meth:`TraceCache.branch_columns` extracts or loads them.
+        self.branch_columns = None
+
+    @property
+    def branch_events(self):
+        """Classic ``(region_index, pc, taken)`` tuple view of the columns.
+
+        Memoized on the columns object, so repeated reads return the same
+        list — and, unlike the pre-columnar attribute this replaces, the
+        columns survive a disk spill/reload round-trip via the ``.events``
+        sidecar instead of being re-extracted per process.
+        """
+        columns = self.branch_columns
+        return columns.events() if columns is not None else None
 
 
 class ReplayMachine:
@@ -202,6 +221,11 @@ class TraceCache:
         self.disk_dir = disk_dir
         self._entries: "OrderedDict[Tuple[int, int, int], TraceEntry]" = \
             OrderedDict()
+        #: Branch columns that arrived without a full entry (loaded from an
+        #: ``.events`` sidecar while the ``.trace`` pickle stayed on disk),
+        #: keyed like entries and holding the program for id() validity.
+        self._event_columns: "OrderedDict[Tuple[int, int, int], "\
+            "Tuple[Program, BranchColumns]]" = OrderedDict()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -210,6 +234,8 @@ class TraceCache:
         self.spills = 0
         self.spill_errors = 0
         self.corrupt_entries = 0
+        self.event_disk_hits = 0
+        self.event_spills = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -249,6 +275,68 @@ class TraceCache:
         if count:
             self.hits += 1
         return entry
+
+    def branch_columns(self, program: Program, start: int, total: int,
+                       count: bool = True) -> Optional[BranchColumns]:
+        """Columnar branch events for a region, or None on a full miss.
+
+        Resolution order, cheapest first: a memory entry's memoized
+        columns (extracted once from its records); columns previously
+        loaded standalone; the on-disk ``.events`` sidecar (never touches
+        pickle); finally the full on-disk ``.trace`` entry, from which
+        columns are extracted and a sidecar spilled for the next process.
+        A miss means the region was never recorded — the caller emulates
+        through :meth:`record` and re-asks with ``count=False``.
+        """
+        key = (id(program), start, total)
+        entry = self._entries.get(key)
+        if entry is not None and entry.program is program:
+            self._entries.move_to_end(key)
+            columns = entry.branch_columns
+            if columns is None:
+                columns = extract_columns(entry.records)
+                entry.branch_columns = columns
+                self._spill_events(program, start, total, columns)
+            if count:
+                self.hits += 1
+            return columns
+        side = self._event_columns.get(key)
+        if side is not None and side[0] is program:
+            self._event_columns.move_to_end(key)
+            if count:
+                self.hits += 1
+            return side[1]
+        if self.disk_dir is not None:
+            columns = self._load_events(program, start, total)
+            if columns is not None:
+                if count:
+                    self.hits += 1
+                    self.event_disk_hits += 1
+                self._memo_columns(key, program, columns)
+                return columns
+            entry = self._load_from_disk(program, start, total)
+            if entry is not None:
+                if count:
+                    self.hits += 1
+                    self.disk_hits += 1
+                self._store(entry, spill=False)
+                columns = extract_columns(entry.records)
+                entry.branch_columns = columns
+                self._spill_events(program, start, total, columns)
+                return columns
+            if count:
+                self.disk_misses += 1
+        if count:
+            self.misses += 1
+        return None
+
+    def _memo_columns(self, key: Tuple[int, int, int], program: Program,
+                      columns: BranchColumns) -> None:
+        memo = self._event_columns
+        memo[key] = (program, columns)
+        memo.move_to_end(key)
+        while len(memo) > self.capacity:
+            memo.popitem(last=False)
 
     def record(self, machine: Machine, start: int, total: int,
                source: Iterator[DynamicUop]) -> Iterator[DynamicUop]:
@@ -329,6 +417,49 @@ class TraceCache:
         except OSError:
             self.spill_errors += 1
 
+    def _events_path(self, program: Program, start: int, total: int) -> str:
+        key = (f"{program_fingerprint(program)}:{start}:{total}"
+               f":events:v{EVENT_FORMAT_VERSION}")
+        name = hashlib.sha256(key.encode()).hexdigest()
+        return os.path.join(self.disk_dir, f"{name}.events")
+
+    def _spill_events(self, program: Program, start: int, total: int,
+                      columns: BranchColumns) -> None:
+        """Write the ``.events`` sidecar; failures count, never propagate."""
+        if self.disk_dir is None:
+            return
+        try:
+            path = self._events_path(program, start, total)
+            if os.path.exists(path):
+                return
+            os.makedirs(self.disk_dir, exist_ok=True)
+        except OSError:
+            self.spill_errors += 1
+            return
+        if write_columns(path, columns, program_fingerprint(program)):
+            self.event_spills += 1
+        else:
+            self.spill_errors += 1
+
+    def _load_events(self, program: Program, start: int,
+                     total: int) -> Optional[BranchColumns]:
+        """Read a sidecar; any damage is a clean miss, not a crash."""
+        path = self._events_path(program, start, total)
+        try:
+            with open(path, "rb") as handle:
+                blob = handle.read()
+        except OSError:
+            return None
+        try:
+            return read_columns(blob, program_fingerprint(program))
+        except Exception:
+            self.corrupt_entries += 1
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+            return None
+
     def _load_from_disk(self, program: Program, start: int,
                         total: int) -> Optional[TraceEntry]:
         """Deserialize an entry; any damage is a clean miss, not a crash."""
@@ -373,6 +504,7 @@ class TraceCache:
 
     def clear(self) -> None:
         self._entries.clear()
+        self._event_columns.clear()
 
     def stats(self) -> dict:
         return {"entries": len(self._entries), "hits": self.hits,
@@ -380,7 +512,9 @@ class TraceCache:
                 "disk_hits": self.disk_hits,
                 "disk_misses": self.disk_misses,
                 "spills": self.spills, "spill_errors": self.spill_errors,
-                "corrupt_entries": self.corrupt_entries}
+                "corrupt_entries": self.corrupt_entries,
+                "event_disk_hits": self.event_disk_hits,
+                "event_spills": self.event_spills}
 
     def register_into(self, scope) -> None:
         """Publish cache effectiveness counters (``host.trace_cache.*``)."""
@@ -394,3 +528,5 @@ class TraceCache:
             scope.counter("spills").set(self.spills)
             scope.counter("spill_errors").set(self.spill_errors)
             scope.counter("corrupt_entries").set(self.corrupt_entries)
+            scope.counter("event_disk_hits").set(self.event_disk_hits)
+            scope.counter("event_spills").set(self.event_spills)
