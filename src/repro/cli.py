@@ -88,6 +88,10 @@ def _build_parser() -> argparse.ArgumentParser:
     config_cmd.add_argument("--trace-cache-size", type=int, default=None)
     config_cmd.add_argument("--trace-cache-dir", default=None)
     config_cmd.add_argument("--variant", default=None)
+    config_cmd.add_argument("--batch-min-lanes", type=int, default=None,
+                            help="minimum same-geometry TAGE lanes before "
+                            "batched replay uses the columnar kernel "
+                            "(0 = auto-calibrate)")
     config_cmd.add_argument("--json", action="store_true",
                             help="emit config + provenance as JSON")
 
@@ -328,7 +332,8 @@ def _build_parser() -> argparse.ArgumentParser:
 def _resolve_from_args(args) -> ResolvedConfig:
     """Layered resolution with every flag this command carries."""
     flag_fields = ("instructions", "warmup", "jobs", "result_cache_size",
-                   "trace_cache_size", "trace_cache_dir", "variant")
+                   "trace_cache_size", "trace_cache_dir", "variant",
+                   "batch_min_lanes")
     flags = {field: getattr(args, field, None) for field in flag_fields}
     return resolve_config(flags=flags,
                           config_file=getattr(args, "config_file", None))
@@ -462,6 +467,11 @@ def _compare_predictor_sweep(args, run_config, names) -> int:
     predictor instead of the base/BR pair.
     """
     predictors = list(dict.fromkeys(args.predictors))
+    dropped = len(args.predictors) - len(predictors)
+    if dropped:
+        print(f"note: dropped {dropped} duplicate predictor "
+              f"column{'s' if dropped != 1 else ''} (each configuration "
+              f"is swept once)", file=sys.stderr)
     tokens = [experiments.spec_variant(name) for name in predictors]
     cells = [(name, token) for name in names for token in tokens]
     progress = _progress_callback(force=args.progress)

@@ -48,6 +48,7 @@ ENV_VARS: Dict[str, str] = {
     "trace_cache_size": "REPRO_TRACE_CACHE",
     "trace_cache_dir": "REPRO_TRACE_CACHE_DIR",
     "variant": "REPRO_VARIANT",
+    "batch_min_lanes": "REPRO_BATCH_MIN_LANES",
 }
 
 #: Provenance labels, lowest precedence first.
@@ -78,6 +79,10 @@ class RunConfig:
     trace_cache_dir: Optional[str] = None
     #: Default variant/BR-config token for single-run CLI flows.
     variant: str = "mini"
+    #: Minimum same-geometry TAGE lanes before batched replay cuts over
+    #: from lockstep to the columnar kernel (0 = auto: the value
+    #: calibrated by ``warm_backend()``, else a static default).
+    batch_min_lanes: int = 0
 
     def validate(self) -> "RunConfig":
         if self.instructions < 1:
@@ -93,6 +98,9 @@ class RunConfig:
         if self.trace_cache_size < 1:
             raise ValueError("trace_cache_size must be >= 1, "
                              f"got {self.trace_cache_size}")
+        if self.batch_min_lanes < 0:
+            raise ValueError("batch_min_lanes must be >= 0 (0 = auto), "
+                             f"got {self.batch_min_lanes}")
         return self
 
     def replace(self, **changes: Any) -> "RunConfig":
@@ -129,7 +137,8 @@ class ResolvedConfig(NamedTuple):
 
 
 _INT_FIELDS = frozenset({"instructions", "warmup", "jobs",
-                         "result_cache_size", "trace_cache_size"})
+                         "result_cache_size", "trace_cache_size",
+                         "batch_min_lanes"})
 
 
 def _coerce(field: str, value: Any, source: str) -> Any:

@@ -97,6 +97,8 @@ def _report_row(entry: dict, comparable: bool) -> dict:
             (report.get("mpki_replay") or {}).get("speedup"),
         "batch_replay_speedup":
             (report.get("batch_replay") or {}).get("speedup"),
+        "tage_batch_speedup":
+            (report.get("tage_batch") or {}).get("speedup"),
     }
 
 
@@ -175,7 +177,7 @@ def format_trend_report(trend: dict) -> str:
              f"{100 * trend['threshold']:.0f}% below best"]
     header = (f"  {'report':32s} {'cells':>5s} {'jobs':>4s} "
               + "".join(f"{name:>12s}" for name in THROUGHPUT_PASSES)
-              + f" {'replay':>8s} {'batch':>8s}  note")
+              + f" {'replay':>8s} {'batch':>8s} {'tage':>8s}  note")
     lines.append(header)
     for row in trend["reports"]:
         name = os.path.basename(row["path"])
@@ -185,7 +187,8 @@ def format_trend_report(trend: dict) -> str:
         for pass_name in THROUGHPUT_PASSES:
             value = row["throughput"][pass_name]
             line += f"{value:>12,}" if value else f"{'-':>12s}"
-        for key in ("mpki_replay_speedup", "batch_replay_speedup"):
+        for key in ("mpki_replay_speedup", "batch_replay_speedup",
+                    "tage_batch_speedup"):
             speedup = row.get(key)
             line += f"{speedup:>7.2f}x" if speedup else f"{'-':>8s}"
         note = "" if row["comparable"] else "different matrix (excluded)"

@@ -28,11 +28,20 @@ Two backends, selected by :func:`numpy_backend` (``REPRO_BATCH_BACKEND``
     lane's own history length are never trained, stay zero, and thus
     never contribute to its dot product).
 
+  - *TAGE / TAGE-SC-L / MTAGE*: lanes grouped by geometry signature
+    share one folded-history/index/tag materialization and advance
+    lane-stacked counter matrices through LUT-compiled automata — see
+    :mod:`repro.predictors.tage_batch`.  The kernel engages once a
+    geometry group reaches the ``batch_min_lanes`` cutover
+    (:func:`tage_min_lanes`); smaller groups stay on lockstep, where
+    the scalar loop is faster.
+
   The vectorized kernels assume a *pristine* (freshly constructed)
   predictor — the scan starts every table entry from the fill value — so
   each lane is checked and falls back to lockstep when it has trained
-  state, is a subclass, or uses an unsupported geometry.  TAGE-SC-L and
-  every other family always take the lockstep path.
+  state, is a subclass, or uses an unsupported geometry.  Remaining
+  families (local-history, loop-only hybrids, custom subclasses) always
+  take the lockstep path.
 
 * **pure** — a lockstep scalar loop sharing one pass of the stream (and
   one ``bool()`` conversion of the outcome column) across lanes.  Always
@@ -54,6 +63,7 @@ from __future__ import annotations
 import os
 from typing import List, Optional, Sequence
 
+from repro.predictors import tage_batch
 from repro.predictors.base import BranchPredictor
 from repro.predictors.bimodal import BimodalPredictor
 from repro.predictors.gshare import GSharePredictor
@@ -67,6 +77,15 @@ BACKEND_ENV = "REPRO_BATCH_BACKEND"
 #: outweighs the stacked-lane win; lockstep is faster.
 MIN_PERCEPTRON_LANES = 3
 
+#: TAGE-lane cutover when neither the caller nor the config layers set
+#: ``batch_min_lanes`` and :func:`warm_backend` has not calibrated one:
+#: below this many same-geometry lanes the columnar TAGE kernel's
+#: per-event numpy overhead loses to lockstep.
+DEFAULT_TAGE_MIN_LANES = 8
+
+#: :func:`warm_backend` calibration result (None until it runs).
+_calibrated_tage_min: Optional[int] = None
+
 #: The counter scan keeps per-event transition maps in uint8.
 _MAX_SCAN_STATES = 256
 
@@ -76,8 +95,10 @@ def warm_backend() -> None:
 
     Runs a miniature batch so numpy is imported, the scan LUT is built,
     and numpy's lazily-initialized kernel paths (argsort, take, cumsum,
-    ...) are primed.  Perf harnesses call this off-clock so a timed
-    first batch measures kernel throughput, not interpreter warmup.
+    ...) are primed, then times a miniature TAGE kernel against its own
+    scalar lockstep to calibrate the auto TAGE-lane cutover (see
+    :func:`tage_min_lanes`).  Perf harnesses call this off-clock so a
+    timed first batch measures kernel throughput, not interpreter warmup.
     """
     if numpy_backend() is None:
         return
@@ -86,6 +107,68 @@ def warm_backend() -> None:
     replay_lanes([BimodalPredictor(size_log2=6),
                   GSharePredictor(size_log2=6, history_bits=4)],
                  pcs, takens, 16)
+    _calibrate_tage_min()
+
+
+def _calibrate_tage_min() -> None:
+    """Measure the TAGE kernel-vs-lockstep breakeven on this machine.
+
+    The columnar kernel's wall per event is nearly lane-count-flat while
+    lockstep scales linearly, so the breakeven lane count is roughly
+    (kernel seconds for one stream) / (scalar seconds for one lane).
+    A tiny geometry keeps this cheap (~10ms); the ratio transfers well
+    enough for a default, and any configured ``batch_min_lanes`` wins.
+    """
+    global _calibrated_tage_min
+    if _calibrated_tage_min is not None:
+        return
+    np = numpy_backend()
+    from time import perf_counter
+
+    from repro.predictors.tage import TageConfig, TagePredictor
+    config = TageConfig(num_tables=4, table_size_log2=6, tag_bits=7,
+                        min_history=2, max_history=16, base_size_log2=8,
+                        useful_reset_period=1 << 9)
+    pcs = [(i * 193) & 0x3FF for i in range(512)]
+    takens = [bool((i * 29 >> 2) & 1) for i in range(512)]
+    scalar = TagePredictor(config)
+    observe = scalar.observe
+    start = perf_counter()
+    for pc, taken in zip(pcs, takens):
+        observe(pc, taken)
+    scalar_wall = perf_counter() - start
+    pcs_v = np.asarray(pcs, dtype=np.int64)
+    taken_v = np.asarray(takens, dtype=bool)
+    kernel_lanes = [TagePredictor(config) for _ in range(4)]
+    start = perf_counter()
+    tage_batch.run_tage_lanes(np, kernel_lanes, range(4), pcs_v, taken_v,
+                              len(pcs), min_lanes=1)
+    kernel_wall = perf_counter() - start
+    if scalar_wall <= 0:
+        _calibrated_tage_min = DEFAULT_TAGE_MIN_LANES
+        return
+    breakeven = -(-kernel_wall // scalar_wall)  # ceil of the ratio
+    _calibrated_tage_min = max(4, min(16, int(breakeven)))
+
+
+def tage_min_lanes(explicit: Optional[int] = None) -> int:
+    """Resolve the TAGE kernel's minimum-lane cutover.
+
+    Precedence: a positive ``explicit`` value (callers thread the
+    resolved ``RunConfig.batch_min_lanes`` through, so CLI flags, the
+    ``REPRO_BATCH_MIN_LANES`` env var, and config files are already
+    layered into it) > the config layers directly when the caller passed
+    nothing > the :func:`warm_backend` calibration > the static default.
+    ``0`` means auto at every layer.
+    """
+    if explicit is not None and explicit > 0:
+        return explicit
+    if explicit is None:
+        from repro.config import current_config
+        configured = current_config().batch_min_lanes
+        if configured > 0:
+            return configured
+    return _calibrated_tage_min or DEFAULT_TAGE_MIN_LANES
 
 
 def numpy_backend():
@@ -105,7 +188,8 @@ def numpy_backend():
 
 def replay_lanes(predictors: Sequence[BranchPredictor],
                  pcs: Sequence[int], takens: Sequence[int],
-                 split: int) -> List[List[int]]:
+                 split: int,
+                 min_lanes: Optional[int] = None) -> List[List[int]]:
     """Advance every lane over one branch stream; return its mispredicts.
 
     ``pcs``/``takens`` are the stream's columns (any int sequences; the
@@ -114,11 +198,17 @@ def replay_lanes(predictors: Sequence[BranchPredictor],
     train only, events at or after it are measured.  Lane ``k``'s return
     value is the list of measured PCs predictor ``k`` mispredicted, in
     stream order — exactly the list the scalar replay loop accumulates.
+
+    ``min_lanes`` gates the columnar TAGE kernel: a geometry group with
+    fewer unique lanes than this falls back to lockstep.  ``None`` and
+    ``0`` both mean auto (see :func:`tage_min_lanes`); callers with a
+    resolved config pass ``RunConfig.batch_min_lanes`` through.
     """
     np = numpy_backend()
     if np is None or len(pcs) == 0:
         return _lockstep(predictors, pcs, takens, split)
-    return _numpy_lanes(np, predictors, pcs, takens, split)
+    return _numpy_lanes(np, predictors, pcs, takens, split,
+                        tage_min_lanes(min_lanes))
 
 
 # -- pure backend ------------------------------------------------------------
@@ -177,12 +267,13 @@ def _pristine_perceptron(predictor: PerceptronPredictor) -> bool:
             and all(bit == 1 for bit in predictor._history))
 
 
-def _numpy_lanes(np, predictors, pcs, takens, split):
+def _numpy_lanes(np, predictors, pcs, takens, split, min_tage_lanes):
     results: List[Optional[List[int]]] = [None] * len(predictors)
     pcs_v = np.asarray(pcs).astype(np.int64)
     taken_v = np.frombuffer(bytes(takens), dtype=np.uint8) != 0
     stacked: List[int] = []
     perceptrons: List[int] = []
+    tage_lanes: List[int] = []
     fallback: List[int] = []
     for lane, predictor in enumerate(predictors):
         # exact-type checks: a subclass may override predict/update, and
@@ -205,6 +296,8 @@ def _numpy_lanes(np, predictors, pcs, takens, split):
         elif type(predictor) is PerceptronPredictor \
                 and _pristine_perceptron(predictor):
             perceptrons.append(lane)
+        elif tage_batch.supported(predictor):
+            tage_lanes.append(lane)
         else:
             fallback.append(lane)
     if stacked:
@@ -267,12 +360,28 @@ def _numpy_lanes(np, predictors, pcs, takens, split):
             results[lane] = mispredicts
     else:
         fallback.extend(perceptrons)
+    alias: dict = {}
+    if tage_lanes:
+        kernel_results, alias, declined = tage_batch.run_tage_lanes(
+            np, predictors, tage_lanes, pcs_v, taken_v, split,
+            min_tage_lanes)
+        for lane, mispredicts in kernel_results.items():
+            results[lane] = mispredicts
+        # geometry groups below the cutover lose to lockstep: route their
+        # unique representatives through the fallback with everyone else
+        fallback.extend(declined)
     if fallback:
         fallback.sort()
         lanes = _lockstep([predictors[lane] for lane in fallback],
                           pcs, takens, split)
         for lane, mispredicts in zip(fallback, lanes):
             results[lane] = mispredicts
+    # duplicate-configuration TAGE lanes share their representative's
+    # mispredict-list *object* (kernel or lockstep alike), so downstream
+    # per-PC aggregation memoizes by identity — same contract as the
+    # counter-scan's XOR-canonical dedupe above
+    for lane, representative in alias.items():
+        results[lane] = results[representative]
     return results
 
 

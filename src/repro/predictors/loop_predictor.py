@@ -99,6 +99,17 @@ class LoopPredictor:
                 self._confidence[index] = 0
             self._current_iter[index] = 0
 
+    def export_state(self) -> dict:
+        """Mutable entry fields, for lane packing / pristine checks."""
+        return {
+            "tags": self._tags,
+            "past_iter": self._past_iter,
+            "current_iter": self._current_iter,
+            "confidence": self._confidence,
+            "direction": self._direction,
+            "age": self._age,
+        }
+
     def storage_bits(self) -> int:
         # tag + past/current iteration (14b each) + confidence + direction + age
         per_entry = self.tag_bits + 14 + 14 + 2 + 1 + 3

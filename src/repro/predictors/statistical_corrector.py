@@ -153,6 +153,36 @@ class StatisticalCorrector:
             comp ^= comp >> comp_len
             comps[position] = comp & comp_mask
 
+    def hash_block(self, pcs, takens):
+        """Materialize every event's table-index row, advancing the folds.
+
+        The corrector twin of :meth:`TagePredictor.hash_block`: indices
+        depend on the PC and outcome stream only, so one fresh instance
+        serves as the shared fold engine for all same-geometry lanes of a
+        batched group.
+        """
+        mask = self._mask
+        comps = self._fold_comps
+        push = self._push_history
+        rows = []
+        append = rows.append
+        for pc, taken in zip(pcs, takens):
+            pcx = pc ^ (pc >> 3)
+            append([(pcx ^ comp) & mask for comp in comps])
+            push(taken)
+        return rows
+
+    def export_state(self) -> dict:
+        """Mutable corrector state, for lane packing / pristine checks."""
+        return {
+            "tables": self.tables,
+            "bias": self.bias,
+            "threshold": self.threshold,
+            "threshold_counter": self._threshold_counter,
+            "fold_comps": list(self._fold_comps),
+            "history": (bytes(self._history._buffer), self._history._head),
+        }
+
     def storage_bits(self) -> int:
         counters = sum(len(table) for table in self.tables) + len(self.bias)
         return counters * 6

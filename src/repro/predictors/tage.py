@@ -399,6 +399,62 @@ class TagePredictor(BranchPredictor):
         comp ^= (comp & self._ft1_hi) >> self._ft1_len
         self._FT1 = comp & self._ft1_lmask
 
+    def hash_block(self, pcs, takens):
+        """Materialize every event's (indices, tags) rows, advancing folds.
+
+        The ``predict()``-side hash expressions plus the ``update()``-side
+        history push, with all table lookups stripped: table indices and
+        tags are a function of the PC and the outcome stream alone, never
+        of table state, so the batched kernel drives ONE fresh instance as
+        the shared fold engine of a whole geometry group and reuses the
+        returned rows for every lane.
+        """
+        ones = self._lane_ones
+        fmt = self._fmt
+        nbytes = self._nbytes
+        mask = self._mask
+        tag_mask = self._tag_mask
+        shift = self._pc_shift
+        push = self._push_history
+        idx_rows = []
+        tag_rows = []
+        append_idx = idx_rows.append
+        append_tag = tag_rows.append
+        for pc, taken in zip(pcs, takens):
+            pcx = pc ^ (pc >> shift)
+            append_idx(unpack(fmt, (self._FI ^ ((pcx & mask) * ones))
+                              .to_bytes(nbytes, "little")))
+            append_tag(unpack(fmt, (self._FT0 ^ (self._FT1 << 1)
+                                    ^ ((pc & tag_mask) * ones))
+                              .to_bytes(nbytes, "little")))
+            push(taken)
+        return idx_rows, tag_rows
+
+    # -- state export (lane packing / pristine checks) ----------------------
+
+    def export_state(self) -> dict:
+        """Every mutable field, as a comparable snapshot.
+
+        The batched TAGE kernel (:mod:`repro.predictors.tage_batch`) gates
+        a lane on this being equal to a freshly constructed predictor of
+        the same config — the kernel starts its stacked arrays from the
+        construction fill values, so any trained state would drift.  Table
+        stores are exported by reference (cheap; ``array``/``bytearray``
+        compare elementwise), scalars by value.
+        """
+        return {
+            "ctr": self._ctr_tables,
+            "tag": self._tag_tables,
+            "useful": self._useful_tables,
+            "base": self._base,
+            "use_alt_on_na": self._use_alt_on_na,
+            "tick": self._tick,
+            "lfsr": self._lfsr.state,
+            "folds": (self._FI, self._FT0, self._FT1),
+            "history": (bytes(self._history._buffer), self._history._head),
+            "fold_tails": [row[0] for row in self._fold_rows],
+        }
+
     # -- packed fold-state views (differential tests / introspection) -------
 
     def _unpack_lanes(self, packed: int):

@@ -86,6 +86,14 @@ class TageSCL(BranchPredictor):
         self._ctx_pc = -1  # any stale predict() context is now invalid
         return pred
 
+    def export_state(self) -> dict:
+        """Component state snapshots, for lane packing / pristine checks."""
+        return {
+            "tage": self.tage.export_state(),
+            "loop": self.loop.export_state(),
+            "corrector": self.corrector.export_state(),
+        }
+
     def storage_bits(self) -> int:
         return (self.tage.storage_bits() + self.loop.storage_bits()
                 + self.corrector.storage_bits())

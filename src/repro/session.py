@@ -307,7 +307,8 @@ class Session:
             results = replay_mpki_batch(program, lanes,
                                         instructions=instructions,
                                         warmup=warmup,
-                                        trace_cache=self.trace_cache)
+                                        trace_cache=self.trace_cache,
+                                        min_lanes=self.config.batch_min_lanes)
             for position, result in zip(misses, results):
                 if cache:
                     self._cache_put(keys[position], result)
@@ -724,7 +725,8 @@ def _run_batch_in(session: Session, task: Tuple) -> List[dict]:
             results = replay_mpki_batch(
                 program, [predictor for _, _, predictor in lanes],
                 instructions=instructions, warmup=warmup,
-                trace_cache=trace_cache)
+                trace_cache=trace_cache,
+                min_lanes=session.config.batch_min_lanes)
         except Exception as exc:
             error = structured(exc)
             for index, _, _ in lanes:

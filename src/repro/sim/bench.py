@@ -16,7 +16,12 @@ Times the experiment matrix over the same cells:
    replay_mpki` and then in one :func:`~repro.sim.predictor_replay.
    replay_mpki_batch` call.  Branch columns are prewarmed off-clock so
    both phases measure predictor work, not trace emulation, and every
-   lane's payload digest must match its scalar twin.
+   lane's payload digest must match its scalar twin;
+5. **tage_batch** — the same scalar-vs-batched shape for the paper's own
+   baseline family: a 24-lane TAGE-SC-L configuration sweep (one tage64
+   index geometry, varied counter/useful/base/loop sizing) through the
+   columnar TAGE kernel of :mod:`repro.predictors.tage_batch`, digest-
+   gated lane for lane against scalar replay.
 
 Because trace-cache replays are bit-identical to live emulation and the
 parallel merge is deterministic, passes 1 and 2 must produce byte-equal
@@ -24,7 +29,7 @@ result payloads (host wall-clock timings excluded) — the harness hashes
 every cell and **fails on drift**, making it a correctness gate as well as
 a perf report.  The replay pass reports no cycles by construction, so its
 gate is exact MPKI equality against the baseline documents.  The report is
-written as ``BENCH_run.json`` (schema ``repro-bench-v4``, stamped with a
+written as ``BENCH_run.json`` (schema ``repro-bench-v5``, stamped with a
 :mod:`repro.observe.manifest` run manifest) so CI can archive a history of
 simulator throughput; :func:`compare_to_baseline` diffs a fresh report
 against a committed one (``BENCH_seed.json``) — warn-only by default,
@@ -49,6 +54,10 @@ from repro.observe.manifest import run_manifest
 from repro.predictors.batched import warm_backend
 from repro.predictors.bimodal import BimodalPredictor
 from repro.predictors.gshare import GSharePredictor
+from repro.predictors.loop_predictor import LoopPredictor
+from repro.predictors.statistical_corrector import StatisticalCorrector
+from repro.predictors.tage import TageConfig
+from repro.predictors.tage_scl import TageSCL
 from repro.session import Session
 from repro.sim import experiments
 from repro.sim.predictor_replay import (
@@ -59,7 +68,7 @@ from repro.sim.predictor_replay import (
 from repro.sim.simulator import simulate
 from repro.workloads import suite
 
-SCHEMA = "repro-bench-v4"
+SCHEMA = "repro-bench-v5"
 
 #: ``compare_to_baseline``: relative uops/sec regression that triggers a
 #: warning.  Warn-only — shared CI runners are too noisy for a hard gate.
@@ -85,6 +94,17 @@ BATCH_REPLAY_GSHARE_SIZES = (10, 12, 13, 14, 15, 16)
 BATCH_REPLAY_GSHARE_HISTORIES = (4, 6, 8, 10, 12, 16)
 
 
+#: TAGE-batch microbench (pass 5).  One tage64-sized index geometry —
+#: the lanes land in a single kernel group — with counter width, useful
+#: width, base table size, and loop table size swept across 24 distinct
+#: configurations (the off-by-``i`` reset periods keep every lane's
+#: dedupe key unique, so all 24 replay for real).
+TAGE_BATCH_BENCHMARK = "mcf_17"
+TAGE_BATCH_INSTRUCTIONS = 300_000
+TAGE_BATCH_WARMUP = 20_000
+TAGE_BATCH_LANES = 24
+
+
 def batch_replay_predictors() -> list:
     """Fresh instances of the 40-lane batch-replay microbench sweep."""
     lanes = [BimodalPredictor(size_log2=size)
@@ -92,6 +112,25 @@ def batch_replay_predictors() -> list:
     lanes.extend(GSharePredictor(size_log2=size, history_bits=history)
                  for size in BATCH_REPLAY_GSHARE_SIZES
                  for history in BATCH_REPLAY_GSHARE_HISTORIES)
+    return lanes
+
+
+def tage_batch_predictors() -> list:
+    """Fresh instances of the 24-lane TAGE-SC-L microbench sweep."""
+    lanes = []
+    for index in range(TAGE_BATCH_LANES):
+        config = TageConfig(
+            num_tables=12, table_size_log2=11, tag_bits=11,
+            counter_bits=(2, 3)[index % 2],
+            useful_bits=(1, 2)[(index // 2) % 2],
+            min_history=4, max_history=640,
+            base_size_log2=12 + (index // 4) % 3,
+            useful_reset_period=(1 << 16) + index)
+        lanes.append(TageSCL(
+            config,
+            loop=LoopPredictor(size_log2=5 + index // 12),
+            corrector=StatisticalCorrector((3, 5, 10, 21, 42), 10),
+            name=f"scl-sweep{index}"))
     return lanes
 
 
@@ -132,45 +171,44 @@ def _pass_report(wall: float, payloads: List[dict], uops: int) -> dict:
     }
 
 
-def _run_batch_replay_pass(run_config) -> Tuple[dict, List[str]]:
-    """Pass 4: scalar-vs-batched multi-predictor replay microbench.
+def _scalar_vs_batch_pass(run_config, benchmark, instructions, warmup,
+                          make_lanes, tag) -> Tuple[dict, List[str]]:
+    """Shared body of the scalar-vs-batched microbench passes (4 and 5).
 
     Returns the pass report and the mismatched-lane list for the drift
     gate.  Both phases replay the *same* prewarmed branch columns, so the
     measured ratio is pure predictor-kernel speedup.
     """
-    program = suite.load(BATCH_REPLAY_BENCHMARK)
+    program = suite.load(benchmark)
     session = Session(run_config.replace(
-        instructions=BATCH_REPLAY_INSTRUCTIONS, warmup=BATCH_REPLAY_WARMUP))
+        instructions=instructions, warmup=warmup))
     trace_cache = session.trace_cache
-    total = BATCH_REPLAY_INSTRUCTIONS + BATCH_REPLAY_WARMUP
     # prewarm off-clock: the one functional emulation of the region and
-    # the batch backend's one-time costs (numpy import, scan LUT) must
-    # not be billed to either phase
-    load_branch_columns(program, 0, total, trace_cache=trace_cache)
+    # the batch backend's one-time costs (numpy import, scan LUT, TAGE
+    # cutover calibration) must not be billed to either phase
+    load_branch_columns(program, 0, instructions + warmup,
+                        trace_cache=trace_cache)
     warm_backend()
 
     # neither phase should be billed GC passes over *other* work's live
     # heap (the earlier bench passes' payloads, then the scalar phase's
-    # 40 result objects): collect and freeze the survivors each time
+    # result objects): collect and freeze the survivors each time
     gc.collect()
     gc.freeze()
     try:
         start = time.perf_counter()
         scalar_results = [
-            replay_mpki(program, predictor,
-                        instructions=BATCH_REPLAY_INSTRUCTIONS,
-                        warmup=BATCH_REPLAY_WARMUP, trace_cache=trace_cache)
-            for predictor in batch_replay_predictors()]
+            replay_mpki(program, predictor, instructions=instructions,
+                        warmup=warmup, trace_cache=trace_cache)
+            for predictor in make_lanes()]
         scalar_wall = time.perf_counter() - start
 
         gc.collect()
         gc.freeze()
         start = time.perf_counter()
         batch_results = replay_mpki_batch(
-            program, batch_replay_predictors(),
-            instructions=BATCH_REPLAY_INSTRUCTIONS,
-            warmup=BATCH_REPLAY_WARMUP, trace_cache=trace_cache)
+            program, make_lanes(), instructions=instructions,
+            warmup=warmup, trace_cache=trace_cache)
         batch_wall = time.perf_counter() - start
     finally:
         gc.unfreeze()
@@ -180,18 +218,31 @@ def _run_batch_replay_pass(run_config) -> Tuple[dict, List[str]]:
                                                batch_results)):
         if payload_digest(batch.to_dict()) != payload_digest(
                 scalar.to_dict()):
-            mismatched.append(
-                f"{BATCH_REPLAY_BENCHMARK}/lane{lane} (batch)")
+            mismatched.append(f"{benchmark}/lane{lane} ({tag})")
     speedup = scalar_wall / batch_wall if batch_wall > 0 else None
     return {
-        "benchmark": BATCH_REPLAY_BENCHMARK,
+        "benchmark": benchmark,
         "lanes": len(scalar_results),
-        "instructions": BATCH_REPLAY_INSTRUCTIONS,
-        "warmup": BATCH_REPLAY_WARMUP,
+        "instructions": instructions,
+        "warmup": warmup,
         "wall_seconds": round(batch_wall, 6),
         "scalar_wall_seconds": round(scalar_wall, 6),
         "speedup": round(speedup, 3) if speedup else None,
     }, mismatched
+
+
+def _run_batch_replay_pass(run_config) -> Tuple[dict, List[str]]:
+    """Pass 4: the 40-lane bimodal/gshare scalar-vs-batched microbench."""
+    return _scalar_vs_batch_pass(
+        run_config, BATCH_REPLAY_BENCHMARK, BATCH_REPLAY_INSTRUCTIONS,
+        BATCH_REPLAY_WARMUP, batch_replay_predictors, "batch")
+
+
+def _run_tage_batch_pass(run_config) -> Tuple[dict, List[str]]:
+    """Pass 5: the 24-lane TAGE-SC-L scalar-vs-batched microbench."""
+    return _scalar_vs_batch_pass(
+        run_config, TAGE_BATCH_BENCHMARK, TAGE_BATCH_INSTRUCTIONS,
+        TAGE_BATCH_WARMUP, tage_batch_predictors, "tage_batch")
 
 
 def resolve_jobs(jobs: Optional[int] = None) -> int:
@@ -216,7 +267,7 @@ def run_bench(benchmarks: Optional[List[str]] = None,
               quick: bool = False,
               journal: Optional[str] = None,
               progress=None) -> dict:
-    """Run the three-pass bench and return the ``repro-bench-v2`` report.
+    """Run the five-pass bench and return the ``repro-bench-v5`` report.
 
     ``quick`` selects the CI smoke matrix; explicit arguments override it.
     The returned report's ``drift.ok`` is the pass/fail bit.  ``journal``
@@ -309,6 +360,9 @@ def run_bench(benchmarks: Optional[List[str]] = None,
     # -- pass 4: batched multi-predictor replay microbench ------------------
     batch_report, batch_mismatched = _run_batch_replay_pass(run_config)
 
+    # -- pass 5: columnar TAGE-SC-L sweep microbench ------------------------
+    tage_report, tage_mismatched = _run_tage_batch_pass(run_config)
+
     # -- drift gate --------------------------------------------------------
     digests: Dict[str, str] = {}
     mismatched: List[str] = []
@@ -321,12 +375,14 @@ def run_bench(benchmarks: Optional[List[str]] = None,
             mismatched.append(name)
     mismatched.extend(f"{name} (mpki)" for name in mpki_mismatched)
     mismatched.extend(batch_mismatched)
+    mismatched.extend(tage_mismatched)
 
     speedup = baseline_wall / optimized_wall if optimized_wall > 0 else None
     pass_walls = {"baseline": baseline_wall, "optimized": optimized_wall}
     if mpki_report:
         pass_walls["mpki_replay"] = mpki_report["wall_seconds"]
     pass_walls["batch_replay"] = batch_report["wall_seconds"]
+    pass_walls["tage_batch"] = tage_report["wall_seconds"]
     return {
         "schema": SCHEMA,
         "manifest": run_manifest(run_config, phase_seconds=pass_walls),
@@ -350,6 +406,7 @@ def run_bench(benchmarks: Optional[List[str]] = None,
         },
         "mpki_replay": mpki_report,
         "batch_replay": batch_report,
+        "tage_batch": tage_report,
         "speedup": round(speedup, 3) if speedup else None,
         "drift": {"ok": not mismatched, "mismatched_cells": mismatched},
         "digests": digests,
@@ -391,6 +448,13 @@ def format_report(report: dict) -> str:
             f"{batch['lanes']} lanes on {batch['benchmark']} "
             f"(vs {batch['scalar_wall_seconds']:.3f}s lane-at-a-time, "
             f"{batch['speedup']:.2f}x)")
+    tage = report.get("tage_batch")
+    if tage:
+        lines.append(
+            f"  tage     : {tage['wall_seconds']:.3f}s for "
+            f"{tage['lanes']} TAGE-SC-L lanes on {tage['benchmark']} "
+            f"(vs {tage['scalar_wall_seconds']:.3f}s lane-at-a-time, "
+            f"{tage['speedup']:.2f}x)")
     drift = report["drift"]
     if drift["ok"]:
         lines.append("  drift    : none (all cell digests match)")
@@ -429,7 +493,7 @@ def compare_to_baseline(report: dict, baseline_report: dict,
                 f"{pass_name} throughput {current:,} uops/s is "
                 f"{100 * (1 - ratio):.0f}% below the committed baseline "
                 f"{committed:,} uops/s")
-    for pass_name in ("mpki_replay", "batch_replay"):
+    for pass_name in ("mpki_replay", "batch_replay", "tage_batch"):
         current_speedup = (report.get(pass_name) or {}).get("speedup")
         committed_speedup = (baseline_report.get(pass_name) or {}).get(
             "speedup")

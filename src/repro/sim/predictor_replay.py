@@ -101,12 +101,17 @@ class PredictorReplayResult:
 
     def __init__(self, program_name: str, predictor: BranchPredictor,
                  core: CoreStats, trace_cache: Optional[TraceCache] = None,
-                 telemetry: Optional[Telemetry] = None):
+                 telemetry: Optional[Telemetry] = None,
+                 lanes_deduped: Optional[int] = None):
         self.program_name = program_name
         self.predictor = predictor
         self.core = core
         self.trace_cache = trace_cache
         self.telemetry = telemetry
+        #: batched-replay only: how many sibling lanes of the same batch
+        #: call were served from another lane's result (None on the
+        #: scalar path, so scalar payloads carry no host.batch scope)
+        self.lanes_deduped = lanes_deduped
         self._registry: Optional[StatRegistry] = None
 
     @property
@@ -167,6 +172,11 @@ class PredictorReplayResult:
         if self.trace_cache is not None:
             self.trace_cache.register_into(
                 registry.scope("host").scope("trace_cache"))
+        if self.lanes_deduped is not None:
+            # host scope: diagnostic, stripped by payload-digest checks so
+            # batched and scalar documents stay byte-comparable
+            registry.scope("host").scope("batch").counter(
+                "lanes_deduped").set(self.lanes_deduped)
         return registry
 
     def to_dict(self) -> dict:
@@ -244,7 +254,8 @@ def replay_mpki_batch(program: Program,
                       predictors: Sequence[Union[BranchPredictor, str]],
                       instructions: int, warmup: int = 0,
                       start_instruction: int = 0,
-                      trace_cache: Optional[TraceCache] = None
+                      trace_cache: Optional[TraceCache] = None,
+                      min_lanes: Optional[int] = None
                       ) -> List[PredictorReplayResult]:
     """Replay one branch stream through K predictor configurations.
 
@@ -263,6 +274,13 @@ def replay_mpki_batch(program: Program,
     its prediction evolution in the kernel's own arrays, so the predictor
     *instance's* table state is left unspecified — treat lane predictors
     as consumed by this call.
+
+    ``min_lanes`` is the vectorized-kernel cutover floor, forwarded to
+    :func:`~repro.predictors.batched.replay_lanes`; None defers to the
+    config layers (``REPRO_BATCH_MIN_LANES`` / config file) and then the
+    calibrated/static default.  Each result additionally reports
+    ``host.batch.lanes_deduped`` — how many lanes were satisfied by an
+    equivalent sibling's replay rather than their own.
     """
     resolved: List[BranchPredictor] = []
     for predictor in predictors:
@@ -285,7 +303,7 @@ def replay_mpki_batch(program: Program,
             stack.enter_context(telemetry.timers.phase("mpki_replay"))
         split = bisect_left(columns.indices, boundary)
         lanes = replay_lanes(resolved, columns.pcs, columns.takens,
-                             split)
+                             split, min_lanes=min_lanes)
     # measured-stream aggregates are lane-independent: count them once
     cond_branches = len(columns.pcs) - split
     taken_branches = int(sum(columns.takens[split:]))
@@ -294,6 +312,7 @@ def replay_mpki_batch(program: Program,
     # same table partition) return the same mispredict-list object, so
     # the per-PC count is built once per unique list
     counted: dict = {}
+    lanes_deduped = len(lanes) - len({id(m) for m in lanes})
     results: List[PredictorReplayResult] = []
     for predictor, telemetry, mispredicted in zip(resolved, telemetries,
                                                   lanes):
@@ -311,5 +330,5 @@ def replay_mpki_batch(program: Program,
         stats.warmup_truncated = warmup > 0 and not warmed
         results.append(PredictorReplayResult(
             program.name, predictor, stats, trace_cache=trace_cache,
-            telemetry=telemetry))
+            telemetry=telemetry, lanes_deduped=lanes_deduped))
     return results

@@ -198,6 +198,23 @@ class TestBatchIdentity:
             assert payload_digest(batch.to_dict()) == \
                 payload_digest(scalar.to_dict())
 
+    def test_duplicate_lanes_dedupe_stat(self, backend):
+        # equivalent lanes replay once in the kernels; the count is
+        # reported under host.batch (host scope, so the digest the drift
+        # gate compares stays identical to the scalar document)
+        program = suite.load("sjeng_06")
+        results = replay_mpki_batch(program, ["tage64", "tage64"],
+                                    trace_cache=TraceCache(),
+                                    min_lanes=1, **REGION)
+        deduped = {result.to_dict()["stats"]["host"]["batch"]
+                   ["lanes_deduped"] for result in results}
+        assert deduped == {1 if backend == "numpy" else 0}
+        scalar = replay_mpki(program, make_predictor("tage64"),
+                             trace_cache=TraceCache(), **REGION)
+        for result in results:
+            assert payload_digest(result.to_dict()) == \
+                payload_digest(scalar.to_dict())
+
     def test_string_lanes_resolve_via_registry(self, backend):
         program = suite.load("sjeng_06")
         by_name, by_instance = replay_mpki_batch(

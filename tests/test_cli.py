@@ -30,7 +30,8 @@ class TestConfigCommand:
         assert document["provenance"] == {
             "instructions": "env", "warmup": "file", "jobs": "flag",
             "result_cache_size": "default", "trace_cache_size": "default",
-            "trace_cache_dir": "default", "variant": "default"}
+            "trace_cache_dir": "default", "variant": "default",
+            "batch_min_lanes": "default"}
         assert document["config_file"] == str(path)
 
     def test_config_file_env_var(self, tmp_path, monkeypatch, capsys):

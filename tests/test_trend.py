@@ -178,7 +178,7 @@ class TestTrendCli:
         report = bench.run_bench(benchmarks=["sjeng_06"],
                                  variants=["tage64"],
                                  instructions=600, warmup=300)
-        assert report["schema"] == "repro-bench-v4"
+        assert report["schema"] == "repro-bench-v5"
         assert report["manifest"]["config_fingerprint"]
         old = make_report(benchmarks=("sjeng_06",), variants=("tage64",),
                           instructions=600, warmup=300,
