@@ -16,9 +16,11 @@ Commands
   one committed JSON regression baseline per benchmark (``baselines/``).
 * ``trend`` — per-pass/per-cell trajectory over the ``BENCH_*.json``
   family; ``--fail-on-regression`` gates on the best recorded run.
-* ``sweep report`` / ``sweep watch`` — merge a ``repro-journal-v1``
-  sweep journal (``compare``/``bench --journal``) into a drift-audited
-  ``repro-sweep-report-v1``, or tail a growing journal's progress live.
+* ``sweep report`` / ``sweep watch`` / ``sweep resume`` — merge a
+  ``repro-journal-v1`` sweep journal (``compare``/``bench --journal``)
+  into a drift-audited ``repro-sweep-report-v1``, tail a growing
+  journal's progress live, or re-run an interrupted sweep replaying
+  already-landed cells from the content-addressed result store.
 * ``stats BENCH`` — dump the full unified stat registry as JSON.
 * ``trace BENCH`` — capture a pipeline event trace (Chrome/JSONL).
 * ``chains BENCH`` — show the dependence chains extracted for a benchmark.
@@ -48,6 +50,7 @@ from repro.observe import journal as observe_journal
 from repro.observe import sweep_report as observe_sweep
 from repro.observe import trend as observe_trend
 from repro.predictors.registry import PREDICTORS
+from repro.sched import executor_names
 from repro.sim import bench, experiments
 from repro.sim.results import ipc_improvement, mpki_improvement
 from repro.sim.sampling import select_simpoints
@@ -56,7 +59,8 @@ from repro.sim.variants import variant_names
 from repro.telemetry import Tracer
 from repro.workloads import suite
 
-LIST_KINDS = ("benchmarks", "predictors", "configs", "variants", "all")
+LIST_KINDS = ("benchmarks", "predictors", "configs", "variants",
+              "executors", "all")
 
 
 def _config_choices() -> List[str]:
@@ -92,6 +96,13 @@ def _build_parser() -> argparse.ArgumentParser:
                             help="minimum same-geometry TAGE lanes before "
                             "batched replay uses the columnar kernel "
                             "(0 = auto-calibrate)")
+    config_cmd.add_argument("--executor", default=None,
+                            choices=executor_names(),
+                            help="sweep executor backend "
+                            "('auto' picks inline/pool by job count)")
+    config_cmd.add_argument("--result-store-dir", default=None,
+                            help="content-addressed result store "
+                            "directory (enables sweep resume)")
     config_cmd.add_argument("--json", action="store_true",
                             help="emit config + provenance as JSON")
 
@@ -148,6 +159,10 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="schedule cells longest-first using "
                          "wall_seconds from a prior journal of the same "
                          "sweep (better parallel packing)")
+    compare.add_argument("--executor", default=None,
+                         choices=executor_names(),
+                         help="sweep executor backend (default: resolved "
+                         "config; 'auto' picks inline/pool by job count)")
     compare.add_argument("--progress", action="store_true",
                          help="force the live progress line on stderr "
                          "(auto-enabled on a tty)")
@@ -189,6 +204,10 @@ def _build_parser() -> argparse.ArgumentParser:
     bench_cmd.add_argument("--progress", action="store_true",
                            help="force the live progress line on stderr "
                            "(auto-enabled on a tty)")
+    bench_cmd.add_argument("--executor", default=None,
+                           choices=executor_names(),
+                           help="sweep executor backend for the optimized "
+                           "pass (default: resolved config)")
 
     def add_matrix_args(p):
         p.add_argument("--quick", action="store_true",
@@ -292,6 +311,27 @@ def _build_parser() -> argparse.ArgumentParser:
                                  "(default: 2)")
     sweep_watch_cmd.add_argument("--once", action="store_true",
                                  help="print one snapshot and exit")
+    sweep_resume_cmd = sweep_sub.add_parser(
+        "resume",
+        help="re-run an interrupted journaled sweep: cells whose results "
+        "already landed in the result store are replayed from disk, only "
+        "the remainder executes")
+    sweep_resume_cmd.add_argument("journal", metavar="JOURNAL",
+                                  help="journal of the interrupted sweep")
+    sweep_resume_cmd.add_argument("--jobs", type=int, default=None,
+                                  help="parallel worker processes for the "
+                                  "resumed run (default: resolved config)")
+    sweep_resume_cmd.add_argument("--executor", default=None,
+                                  choices=executor_names(),
+                                  help="executor backend for the resumed "
+                                  "run (default: resolved config)")
+    sweep_resume_cmd.add_argument("--result-store-dir", default=None,
+                                  metavar="DIR",
+                                  help="result store directory (default: "
+                                  "the interrupted sweep's configured "
+                                  "store, else REPRO_RESULT_STORE_DIR)")
+    sweep_resume_cmd.add_argument("--json", action="store_true",
+                                  help="emit the resume summary as JSON")
 
     stats = sub.add_parser(
         "stats", help="dump the unified stat registry as JSON")
@@ -333,7 +373,7 @@ def _resolve_from_args(args) -> ResolvedConfig:
     """Layered resolution with every flag this command carries."""
     flag_fields = ("instructions", "warmup", "jobs", "result_cache_size",
                    "trace_cache_size", "trace_cache_dir", "variant",
-                   "batch_min_lanes")
+                   "batch_min_lanes", "executor", "result_store_dir")
     flags = {field: getattr(args, field, None) for field in flag_fields}
     return resolve_config(flags=flags,
                           config_file=getattr(args, "config_file", None))
@@ -394,6 +434,16 @@ def _cmd_list(args) -> int:
                 replay = "yes" if experiments.is_predictor_only(name) \
                     else "no"
                 print(f"{name:20s} {replay:>11s}")
+        elif kind == "executors":
+            from repro.sched import EXECUTORS
+            print(f"{'name':14s} {'in-process':>10s}  description")
+            print(f"{'auto':14s} {'':>10s}  pool when jobs > 1 and more "
+                  f"than one unit is pending, else inline")
+            for name in EXECUTORS.names(sort=True):
+                meta = EXECUTORS.meta(name)
+                in_process = "yes" if meta.get("in_process") else "no"
+                print(f"{name:14s} {in_process:>10s}  "
+                      f"{meta.get('description', '')}")
     return 0
 
 
@@ -484,7 +534,8 @@ def _compare_predictor_sweep(args, run_config, names) -> int:
                                      outputs="mpki",
                                      journal=args.journal,
                                      progress=progress,
-                                     order_from=args.order_from)
+                                     order_from=args.order_from,
+                                     executor=args.executor)
     finally:
         if progress is not None:
             progress.finish()
@@ -539,7 +590,8 @@ def _cmd_compare(args) -> int:
                                      chunksize=2, outputs=outputs,
                                      journal=args.journal,
                                      progress=progress,
-                                     order_from=args.order_from)
+                                     order_from=args.order_from,
+                                     executor=args.executor)
     finally:
         if progress is not None:
             progress.finish()
@@ -599,7 +651,8 @@ def _cmd_bench(args) -> int:
                                  jobs=args.jobs,
                                  quick=args.quick,
                                  journal=args.journal,
-                                 progress=progress)
+                                 progress=progress,
+                                 executor=args.executor)
     finally:
         if progress is not None:
             progress.finish()
@@ -743,7 +796,20 @@ def _cmd_sweep(args) -> int:
         if args.github:
             for line in observe_sweep.github_annotations(report):
                 print(line)
-        return 0 if report["ok"] else 1
+        if report["ok"]:
+            return 0
+        # exit 3 = incomplete but resumable (no failed cells, no drift):
+        # a killed sweep whose remainder `repro sweep resume` can run
+        if report["sweep"].get("resumable") \
+                and not report["drift"]["violations"]:
+            if report["sweep"].get("resume_command"):
+                print(f"resume with: {report['sweep']['resume_command']}",
+                      file=sys.stderr)
+            return 3
+        return 1
+
+    if args.action == "resume":
+        return _cmd_sweep_resume(args)
 
     # watch: poll the journal until the sweep finishes (or forever, for
     # a sweep that died — ^C is the way out, same as `tail -f`)
@@ -763,9 +829,118 @@ def _cmd_sweep(args) -> int:
             return 2
         snapshot = observe_sweep.journal_snapshot(journal)
         print(observe_sweep.format_watch_line(snapshot))
-        if args.once or journal["complete"]:
+        if journal["complete"]:
             return 0
+        if args.once:
+            # same convention as `sweep report`: 3 = incomplete (still
+            # running or killed), distinguishable from hard failures
+            return 3
         _time.sleep(args.interval)
+
+
+def _cmd_sweep_resume(args) -> int:
+    """``repro sweep resume JOURNAL``: finish an interrupted sweep.
+
+    The journal's ``sweep_started`` manifest rebuilds the exact
+    :class:`~repro.config.RunConfig` of the interrupted run, so every
+    result-store key resolves identically; cells whose results already
+    landed replay from the store, only the remainder executes.  The
+    resumed run is itself journaled to ``JOURNAL.resume``.
+    """
+    import os
+
+    from repro.sched import ResultStore
+    from repro.session import Session
+
+    try:
+        journal = observe_journal.read_journal(args.journal)
+    except (OSError, ValueError) as error:
+        print(f"repro sweep: error: {error}", file=sys.stderr)
+        return 2
+    sweep = journal["events"][0]
+    manifest = sweep.get("manifest")
+    if not manifest or not manifest.get("config"):
+        print(f"repro sweep: error: {args.journal} carries no sweep "
+              "manifest; cannot reconstruct the run configuration",
+              file=sys.stderr)
+        return 2
+    cells = [tuple(cell) for cell in (sweep.get("cells") or [])]
+    if not cells:
+        print(f"repro sweep: error: {args.journal} records no cell plan",
+              file=sys.stderr)
+        return 2
+    known = set(RunConfig.field_names())
+    fields = {key: value for key, value in manifest["config"].items()
+              if key in known}
+    try:
+        config = RunConfig(**fields).validate()
+    except (TypeError, ValueError) as error:
+        print(f"repro sweep: error: journal manifest config is not "
+              f"loadable: {error}", file=sys.stderr)
+        return 2
+    store_dir = (args.result_store_dir or config.result_store_dir
+                 or os.environ.get("REPRO_RESULT_STORE_DIR") or None)
+    if store_dir is None:
+        print("repro sweep: error: no result store to resume from "
+              "(the sweep ran without result_store_dir and neither "
+              "--result-store-dir nor REPRO_RESULT_STORE_DIR is set)",
+              file=sys.stderr)
+        return 2
+    if config.result_store_dir is None:
+        config = config.replace(result_store_dir=store_dir)
+    session = Session(config)
+    if store_dir != config.result_store_dir:
+        # store moved since the sweep ran: keys keep the recorded
+        # config's fingerprint, reads/writes go to the new directory
+        session.result_store = ResultStore(store_dir)
+    landed_before = sum(1 for event in journal["events"]
+                        if event["event"] == "cell_finished")
+    jobs = args.jobs if args.jobs is not None else config.jobs
+    resume_journal = f"{args.journal}.resume"
+    progress = None if args.json else _progress_callback()
+    try:
+        rows = session.run_cells(cells, jobs=jobs,
+                                 outputs=sweep.get("outputs") or "full",
+                                 journal=resume_journal,
+                                 executor=args.executor,
+                                 progress=progress)
+    finally:
+        if progress is not None:
+            progress.finish()
+    stats = session.last_sweep or {}
+    resumed = stats.get("cells_resumed_from_store", 0)
+    failed = [row for row in rows if not row.get("ok", True)]
+    digests = {f"{row['benchmark']}/{row['variant']}":
+               bench.payload_digest(row["payload"])
+               for row in rows if row.get("payload") is not None}
+    summary = {
+        "journal": args.journal,
+        "resume_journal": resume_journal,
+        "result_store_dir": store_dir,
+        "cells_total": len(cells),
+        "cells_landed_before": landed_before,
+        "cells_resumed_from_store": resumed,
+        "cells_executed": len(cells) - resumed,
+        "cells_failed": len(failed),
+        "executor": stats.get("executor"),
+        "mode": stats.get("mode"),
+        "digests": digests,
+    }
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        print(f"resumed {args.journal}: {resumed}/{len(cells)} cell(s) "
+              f"replayed from {store_dir}, "
+              f"{summary['cells_executed']} executed "
+              f"({summary['cells_failed']} failed), "
+              f"executor={summary['executor']}")
+        print(f"resume journal written to {resume_journal}")
+    for row in failed:
+        error = row["error"]
+        print(f"repro sweep: error: {row['benchmark']}/{row['variant']} "
+              f"failed: {error['type']}: {error['message']}",
+              file=sys.stderr)
+    return 1 if failed else 0
 
 
 def _cmd_stats(args) -> int:

@@ -49,6 +49,8 @@ ENV_VARS: Dict[str, str] = {
     "trace_cache_dir": "REPRO_TRACE_CACHE_DIR",
     "variant": "REPRO_VARIANT",
     "batch_min_lanes": "REPRO_BATCH_MIN_LANES",
+    "executor": "REPRO_EXECUTOR",
+    "result_store_dir": "REPRO_RESULT_STORE_DIR",
 }
 
 #: Provenance labels, lowest precedence first.
@@ -83,6 +85,12 @@ class RunConfig:
     #: from lockstep to the columnar kernel (0 = auto: the value
     #: calibrated by ``warm_backend()``, else a static default).
     batch_min_lanes: int = 0
+    #: Sweep executor backend (``auto`` picks inline/pool by job count;
+    #: see :mod:`repro.sched.executors` for the registry).
+    executor: str = "auto"
+    #: Directory for the content-addressed sweep result store (None =
+    #: no store: sweeps are neither written through nor resumable).
+    result_store_dir: Optional[str] = None
 
     def validate(self) -> "RunConfig":
         if self.instructions < 1:
@@ -101,6 +109,9 @@ class RunConfig:
         if self.batch_min_lanes < 0:
             raise ValueError("batch_min_lanes must be >= 0 (0 = auto), "
                              f"got {self.batch_min_lanes}")
+        if not self.executor:
+            raise ValueError("executor must be a backend name or 'auto', "
+                             f"got {self.executor!r}")
         return self
 
     def replace(self, **changes: Any) -> "RunConfig":
@@ -148,7 +159,7 @@ def _coerce(field: str, value: Any, source: str) -> Any:
             if isinstance(value, bool):
                 raise ValueError("boolean is not an integer")
             return int(value)
-        if field == "trace_cache_dir":
+        if field in ("trace_cache_dir", "result_store_dir"):
             return str(value) if value is not None else None
         return str(value)
     except (TypeError, ValueError) as error:

@@ -82,6 +82,7 @@ class SweepRecorder:
                  sweep_id: Optional[str] = None,
                  profile: Optional[str] = None,
                  start_method: Optional[str] = None,
+                 executor: Optional[str] = None,
                  progress: Optional[Callable[[dict], None]] = None):
         self.path = os.fspath(path) if path is not None else None
         self.config = config
@@ -91,6 +92,9 @@ class SweepRecorder:
         self.outputs = outputs
         self.sweep_id = sweep_id
         self.start_method = start_method
+        #: Resolved executor backend; the scheduler sets this just
+        #: before ``start()`` once the ``auto`` knob is resolved.
+        self.executor = executor
         self.progress = progress
         self.profile = profile if (profile and self.path) else None
         self.profile_dir: Optional[str] = None
@@ -146,7 +150,20 @@ class SweepRecorder:
             chunksize=self.chunksize,
             outputs=self.outputs,
             profile=self.profile,
-            start_method=self.start_method)
+            start_method=self.start_method,
+            executor=self.executor)
+
+    def record_event(self, event: str, stream: str = "scheduler",
+                     **fields) -> dict:
+        """Journal one out-of-band event (scheduler lifecycle facts).
+
+        The ``scheduler`` stream carries events that belong to the sweep
+        as a whole but are not cell rows — ``dag_built`` (dependency
+        edges, dispatch units, resumed cells) and ``plan_mismatch``
+        (a stale ``order_from`` journal).  Progress-only recorders
+        simply drop them, like every other event.
+        """
+        return self._emit(event, stream, **fields)
 
     def record_row(self, row: dict) -> None:
         """Journal one landed row (worker/cell events) + update progress."""
@@ -178,6 +195,10 @@ class SweepRecorder:
             payload = row.get("payload") or {}
             if row.get("trace_cache_hit"):
                 self.trace_hits += 1
+            if row.get("result_store_hit"):
+                # only present on synthesized resume rows, so journals
+                # of store-less sweeps stay byte-for-byte unchanged
+                base["result_store_hit"] = True
             self._emit(
                 "cell_finished", stream,
                 wall_seconds=wall,

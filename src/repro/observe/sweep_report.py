@@ -154,6 +154,11 @@ def _profile_summary(journal_path: str,
 
 # -- report building -------------------------------------------------------
 
+def resume_command(journal_path: str) -> str:
+    """The exact CLI invocation that resumes an interrupted sweep."""
+    return f"python -m repro sweep resume {journal_path}"
+
+
 def build_sweep_report(journal, slowest: int = DEFAULT_SLOWEST,
                        profile_frames: int = DEFAULT_PROFILE_FRAMES
                        ) -> dict:
@@ -170,9 +175,27 @@ def build_sweep_report(journal, slowest: int = DEFAULT_SLOWEST,
     violations: List[dict] = []
     warnings: List[dict] = []
     finished = None
+    scheduler = None
+    plan_mismatch = None
     for event in events:
         kind = event["event"]
-        if kind == "worker_started":
+        if kind == "dag_built":
+            scheduler = {
+                "executor": event.get("executor"),
+                "mode": event.get("mode"),
+                "nodes": event.get("nodes"),
+                "edges": len(event.get("edges") or []),
+                "units": event.get("units"),
+                "jobs": event.get("jobs"),
+                "resumed_cells": len(event.get("resumed_cells") or []),
+            }
+        elif kind == "plan_mismatch":
+            plan_mismatch = {
+                "journal": event.get("journal"),
+                "unmatched_requested": event.get("unmatched_requested"),
+                "unmatched_journal": event.get("unmatched_journal"),
+            }
+        elif kind == "worker_started":
             pid = event.get("pid")
             workers[pid] = {
                 "pid": pid, "cells": 0, "wall_seconds": 0.0,
@@ -244,14 +267,19 @@ def build_sweep_report(journal, slowest: int = DEFAULT_SLOWEST,
 
     hits = sum(1 for event in cells_finished
                if event.get("trace_cache_hit"))
+    store_hits = sum(1 for event in cells_finished
+                     if event.get("result_store_hit"))
+    resumable = not journal["complete"] and not cells_failed
+    journal_path = journal.get("path")
     report = {
         "schema": SWEEP_REPORT_SCHEMA,
-        "journal": journal.get("path"),
+        "journal": journal_path,
         "sweep": {
             "sweep_id": sweep.get("sweep_id"),
             "manifest_fingerprint": sweep.get("manifest_fingerprint"),
             "jobs": sweep.get("jobs"),
             "outputs": sweep.get("outputs"),
+            "executor": sweep.get("executor"),
             "total_cells": total,
             "cells_done": len(cells_finished),
             "cells_failed": len(cells_failed),
@@ -261,7 +289,13 @@ def build_sweep_report(journal, slowest: int = DEFAULT_SLOWEST,
             "wall_seconds": (finished or {}).get("wall_seconds"),
             "trace_cache_hit_rate": (round(hits / landed, 4)
                                      if landed else None),
+            "result_store_hits": store_hits,
+            "resumable": resumable,
+            "resume_command": (resume_command(journal_path)
+                               if resumable and journal_path else None),
         },
+        "scheduler": scheduler,
+        "plan_mismatch": plan_mismatch,
         "workers": [workers[pid] for pid in sorted(
             workers, key=lambda value: (value is None, value))],
         "drift": {
@@ -304,6 +338,25 @@ def format_sweep_report(report: dict) -> str:
     ]
     if sweep["wall_seconds"] is not None:
         lines[-1] += f", {sweep['wall_seconds']:.3f}s wall"
+    scheduler = report.get("scheduler")
+    if scheduler:
+        lines.append(
+            f"  sched   : executor={scheduler['executor']} "
+            f"mode={scheduler['mode']} "
+            f"{scheduler['nodes']} node(s), {scheduler['edges']} edge(s), "
+            f"{scheduler['units']} unit(s)"
+            + (f", {scheduler['resumed_cells']} cell(s) resumed from store"
+               if scheduler["resumed_cells"] else ""))
+    mismatch = report.get("plan_mismatch")
+    if mismatch:
+        unmatched = ((mismatch.get("unmatched_requested") or [])
+                     + (mismatch.get("unmatched_journal") or []))
+        lines.append(
+            f"  NOTE    : order_from plan mismatch vs "
+            f"{mismatch.get('journal')}: "
+            f"{len(unmatched)} unmatched cell(s) "
+            f"({', '.join(unmatched[:6])}"
+            + (", ..." if len(unmatched) > 6 else "") + ")")
     for info in report["workers"]:
         lines.append(
             f"  worker {info['pid']}: {info['cells']} cell(s), "
@@ -350,6 +403,8 @@ def format_sweep_report(report: dict) -> str:
             reasons.append(f"{len(report['drift']['violations'])} drift "
                            f"violation(s)")
         lines.append(f"  FAILED: {', '.join(reasons)}")
+        if sweep.get("resumable") and sweep.get("resume_command"):
+            lines.append(f"  resume  : {sweep['resume_command']}")
     return "\n".join(lines)
 
 
@@ -358,9 +413,11 @@ def github_annotations(report: dict) -> List[str]:
     annotations: List[str] = []
     journal = report.get("journal") or "journal"
     if not report["sweep"]["complete"]:
+        hint = (f"; resume with: {report['sweep']['resume_command']}"
+                if report["sweep"].get("resume_command") else "")
         annotations.append(
             f"::error title=Incomplete sweep::{journal} has no "
-            f"sweep_finished event (killed or still running)")
+            f"sweep_finished event (killed or still running){hint}")
     for finding in report["drift"]["violations"]:
         annotations.append(f"::error title=Worker drift::"
                            f"{_describe_drift(finding)}")

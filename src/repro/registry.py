@@ -2,10 +2,10 @@
 
 The simulation stack is a cross-product of pluggable components —
 predictors, Branch Runahead configurations, named experiment variants,
-benchmarks.  Each family keeps a :class:`Registry` instance and exposes a
-``register_*`` decorator, replacing the hand-maintained literal dicts the
-harness grew up with (``PREDICTOR_FACTORIES``, ``VARIANTS``, the
-``BENCHMARKS`` list):
+benchmarks, sweep executor backends.  Each family keeps a
+:class:`Registry` instance and exposes a ``register_*`` decorator,
+replacing the hand-maintained literal dicts the harness grew up with
+(``PREDICTOR_FACTORIES``, ``VARIANTS``, the ``BENCHMARKS`` list):
 
     @register_predictor("tage64", predictor_only=True)
     def tage64():

@@ -1,0 +1,286 @@
+"""Sweep dependency DAG and dispatch-unit construction (``repro.sched.dag``).
+
+``run_cells`` compiles its cell plan into *tasks* (scalar cells plus
+fused batch-replay groups); :func:`build_dag` lifts those tasks into an
+explicit dependency graph: within each benchmark, the first task in plan
+order is the **record node** — it is the one that will emulate the region
+and populate the trace cache — and every other task of that benchmark is
+a **replay**/**batch** node depending on it.  Edges are journaled (as
+``(record_cell_index, dependent_cell_index)`` pairs in the ``dag_built``
+event) so a sweep's trace-record → replay structure is observable after
+the fact.
+
+Nodes are grouped into dispatch *units* per executor mode:
+
+* ``serial`` (inline executor) — one node per unit, strict task order;
+  dependencies are trivially satisfied because a benchmark's record node
+  always precedes its replays in the plan.
+* ``dag`` (pool executor + a shared trace-cache disk directory) —
+  dependency edges *enforced*: each record node dispatches as its own
+  unit, and its benchmark's replays ride in grouped dependent units
+  released only once the record completes (the record worker's trace
+  reaches them through the disk spill), which is the "one worker records
+  ``mcf_17`` while others replay recorded benchmarks" schedule.
+  Dependents stay in one unit per benchmark unless that benchmark owns
+  a jobs-scaled share of the matrix, in which case they split so the
+  tail spreads across idle workers.
+* ``chunked`` (pool executor, process-local trace caches) — edges are
+  *relaxed* to benchmark-aligned chunks: a prerequisite whose product
+  (the in-memory trace) cannot reach another process is not an
+  enforceable prerequisite, so instead each benchmark's nodes are kept
+  together (trace locality) and split into at most ``jobs``-scaled
+  sub-units — never slower than the flat runner's benchmark-major
+  chunking, usually better because chunks no longer straddle benchmark
+  boundaries.  An explicit ``chunksize`` reproduces the flat runner's
+  exact consecutive chunks.
+
+:func:`order_plan` is the ``order_from=`` scheduling hint, extended to
+return structured plan-mismatch info (satellite of this refactor): a
+journal whose recorded cell plan differs from the requested matrix used
+to silently fall back; now the differing cells are reported so a stale
+``--order-from`` path is visible instead of quietly ignored.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Tuple
+
+
+class SweepPlanMismatchWarning(UserWarning):
+    """An ``order_from=`` journal's cell plan differs from the request."""
+
+
+class DagNode:
+    """One schedulable task: a scalar cell or a fused batch group."""
+
+    __slots__ = ("id", "kind", "benchmark", "cells", "task", "deps",
+                 "dependents")
+
+    def __init__(self, node_id: int, kind: str, benchmark: str,
+                 cells: List[Tuple[int, str, str]], task: Tuple):
+        self.id = node_id
+        #: ``record`` (first task of its benchmark), ``replay`` (scalar
+        #: dependent), or ``batch`` (fused dependent group).
+        self.kind = kind
+        self.benchmark = benchmark
+        #: ``(cell_index, benchmark, variant)`` per member cell.
+        self.cells = cells
+        self.task = task
+        self.deps: List[int] = []
+        self.dependents: List[int] = []
+
+    def __repr__(self) -> str:
+        return (f"DagNode({self.id}, {self.kind!r}, {self.benchmark!r}, "
+                f"cells={[c[0] for c in self.cells]}, deps={self.deps})")
+
+
+class SweepDag:
+    """Nodes plus the record → dependent edges between them."""
+
+    def __init__(self, nodes: List[DagNode], edges: List[Tuple[int, int]],
+                 edge_cells: List[Tuple[int, int]]):
+        self.nodes = nodes
+        #: ``(record_node_id, dependent_node_id)`` pairs.
+        self.edges = edges
+        #: The same edges as ``(record_cell_index, dependent_cell_index)``
+        #: — the journal-stable form (node ids are an internal detail).
+        self.edge_cells = edge_cells
+
+    def __repr__(self) -> str:
+        return f"SweepDag(nodes={len(self.nodes)}, edges={len(self.edges)})"
+
+
+def _task_cells(task: Tuple) -> List[Tuple[int, str, str]]:
+    """The ``(cell_index, benchmark, variant)`` members of one task."""
+    benchmark = task[1]
+    if isinstance(task[2], tuple):  # fused batch group
+        return [(index, benchmark, variant) for variant, index in task[2]]
+    return [(task[7]["index"], benchmark, task[2])]
+
+
+def build_dag(tasks: List[Tuple]) -> SweepDag:
+    """Lift a task list into record → replay dependency structure.
+
+    The first task of each benchmark (in plan order — i.e. after any
+    ``order_from`` reordering) is that benchmark's record node; every
+    later task of the same benchmark depends on it.  A fused batch group
+    that happens to come first *is* the record node (it emulates the
+    region for its whole group).
+    """
+    nodes: List[DagNode] = []
+    roots: Dict[str, DagNode] = {}
+    edges: List[Tuple[int, int]] = []
+    edge_cells: List[Tuple[int, int]] = []
+    for node_id, task in enumerate(tasks):
+        benchmark = task[1]
+        cells = _task_cells(task)
+        root = roots.get(benchmark)
+        if root is None:
+            kind = "record"
+        else:
+            kind = "batch" if isinstance(task[2], tuple) else "replay"
+        node = DagNode(node_id, kind, benchmark, cells, task)
+        if root is None:
+            roots[benchmark] = node
+        else:
+            node.deps.append(root.id)
+            root.dependents.append(node.id)
+            edges.append((root.id, node.id))
+            edge_cells.append((root.cells[0][0], node.cells[0][0]))
+        nodes.append(node)
+    return SweepDag(nodes, edges, edge_cells)
+
+
+def build_units(dag: SweepDag, pending: List[DagNode], mode: str,
+                jobs: int, chunksize: Optional[int]
+                ) -> Tuple[List[List[int]], Dict[int, List[int]]]:
+    """Group pending nodes into dispatch units for ``mode``.
+
+    Returns ``(units, unit_deps)`` where each unit is a list of node ids
+    (executed in order inside one worker dispatch) and ``unit_deps``
+    maps a unit index to the unit indexes it must wait for.  Only
+    ``dag`` mode produces non-empty deps; ``serial`` relies on task
+    order and ``chunked`` on benchmark-aligned locality (see module
+    docstring for why relaxed edges are correct there).
+    """
+    if mode == "serial":
+        units = [[node.id] for node in pending]
+        return units, {}
+    if mode == "dag":
+        # record nodes dispatch alone (they gate their benchmark's
+        # replays); dependents stay grouped — one unit per benchmark by
+        # default, splitting jobs-scaled only when a benchmark's share
+        # of the matrix is large enough that spreading its replays over
+        # extra workers shortens the tail.  Finer units would pay a
+        # disk trace load + dispatch round-trip per replay for no
+        # added parallelism.
+        total = len(pending)
+        unit_of: Dict[int, int] = {}
+        units = []
+        groups = {}
+        for node in pending:
+            groups.setdefault(node.benchmark, []).append(node)
+        for group in groups.values():
+            root = next((node for node in group
+                         if node.kind == "record"), None)
+            dependents = [node for node in group if node is not root]
+            if root is not None:
+                unit_of[root.id] = len(units)
+                units.append([root.id])
+            if dependents:
+                parts = max(1, len(dependents) * jobs // total) \
+                    if total else 1
+                parts = min(parts, len(dependents))
+                size = (len(dependents) + parts - 1) // parts
+                for start in range(0, len(dependents), size):
+                    members = dependents[start:start + size]
+                    for node in members:
+                        unit_of[node.id] = len(units)
+                    units.append([node.id for node in members])
+        deps: Dict[int, List[int]] = {}
+        for node in pending:
+            unit_id = unit_of[node.id]
+            wanted = [unit_of[dep] for dep in node.deps
+                      if dep in unit_of and unit_of[dep] != unit_id]
+            if wanted:
+                existing = deps.setdefault(unit_id, [])
+                for dep in wanted:
+                    if dep not in existing:
+                        existing.append(dep)
+        order = sorted(range(len(units)), key=lambda uid: units[uid][0])
+        remap = {old: new for new, old in enumerate(order)}
+        units = [units[old] for old in order]
+        deps = {remap[uid]: sorted(remap[dep] for dep in wanted)
+                for uid, wanted in deps.items()}
+        return units, deps
+    # chunked: benchmark-aligned sub-units, no enforced edges
+    if chunksize is not None and chunksize >= 1:
+        # explicit chunksize: the flat runner's exact consecutive chunks
+        units = [[node.id for node in pending[start:start + chunksize]]
+                 for start in range(0, len(pending), chunksize)]
+        return units, {}
+    groups: Dict[str, List[int]] = {}
+    for node in pending:
+        groups.setdefault(node.benchmark, []).append(node.id)
+    total = len(pending)
+    units = []
+    for group in groups.values():
+        # scale each benchmark's share of the matrix to ~jobs concurrent
+        # units overall, never splitting finer than one node per unit
+        parts = max(1, -(-len(group) * jobs // total)) if total else 1
+        parts = min(parts, len(group))
+        size = (len(group) + parts - 1) // parts
+        for start in range(0, len(group), size):
+            units.append(group[start:start + size])
+    units.sort(key=lambda ids: ids[0])
+    return units, {}
+
+
+def order_plan(plan: List[Tuple[int, Tuple[str, str]]],
+               journal_path: str
+               ) -> Tuple[List[Tuple[int, Tuple[str, str]]],
+                          Optional[dict]]:
+    """Reorder an indexed cell plan by a prior journal's wall seconds.
+
+    Longest first; cells the journal never timed sort ahead of timed
+    ones (an unknown cell may be arbitrarily expensive, so schedule it
+    before the known-long tail).  Ties and unknowns keep plan order (the
+    sort is stable).  Any read or parse failure returns the plan as-is:
+    ordering is a scheduling hint, never a correctness input.
+
+    Additionally compares the journal's recorded cell plan against the
+    requested one; on a mismatch the second return value is a structured
+    ``{"journal", "unmatched_requested", "unmatched_journal"}`` dict
+    (otherwise None) — the caller warns and journals it instead of the
+    old silent fallback.
+    """
+    from repro.observe.journal import read_journal
+    try:
+        journal = read_journal(journal_path)
+    except (OSError, ValueError):
+        return plan, None
+    recorded = [tuple(cell) for cell in
+                (journal["events"][0].get("cells") or [])]
+    mismatch = None
+    if recorded:
+        requested = [cell for _, cell in plan]
+        if sorted(recorded) != sorted(requested):
+            requested_set, recorded_set = set(requested), set(recorded)
+            mismatch = {
+                "journal": os.fspath(journal_path),
+                "unmatched_requested": sorted(
+                    "/".join(cell)
+                    for cell in requested_set - recorded_set),
+                "unmatched_journal": sorted(
+                    "/".join(cell)
+                    for cell in recorded_set - requested_set),
+            }
+    walls: Dict[Tuple[str, str], float] = {}
+    for event in journal["events"]:
+        if event.get("event") not in ("cell_finished", "cell_failed"):
+            continue
+        wall = event.get("wall_seconds")
+        if wall is not None and event.get("benchmark") is not None:
+            walls[(event["benchmark"], event["variant"])] = wall
+    if not walls:
+        return plan, mismatch
+    infinity = float("inf")
+    return sorted(plan, key=lambda item: -walls.get(item[1], infinity)), \
+        mismatch
+
+
+def describe_mismatch(mismatch: dict) -> str:
+    """One-line human rendering shared by the warning and the report."""
+    parts = []
+    if mismatch["unmatched_requested"]:
+        parts.append(f"{len(mismatch['unmatched_requested'])} requested "
+                     f"cell(s) missing from the journal plan: "
+                     + ", ".join(mismatch["unmatched_requested"]))
+    if mismatch["unmatched_journal"]:
+        parts.append(f"{len(mismatch['unmatched_journal'])} journal "
+                     f"cell(s) not in this sweep: "
+                     + ", ".join(mismatch["unmatched_journal"]))
+    return (f"order_from journal {mismatch['journal']} records a "
+            f"different cell plan ({'; '.join(parts)}); its timings "
+            f"only order the overlapping cells")

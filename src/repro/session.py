@@ -30,11 +30,19 @@ import os
 import time
 import traceback as _traceback
 import uuid
+import warnings as _warnings
 from collections import OrderedDict
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, \
     Tuple
 
 from repro.config import RunConfig, current_config, resolve_jobs
+from repro.sched import (
+    ResultStore,
+    SweepPlanMismatchWarning,
+    SweepScheduler,
+    describe_mismatch,
+    order_plan,
+)
 from repro.sim.predictor_replay import replay_mpki, replay_mpki_batch
 from repro.sim.results import SimulationResult
 from repro.sim.simulator import simulate
@@ -80,6 +88,17 @@ class Session:
         #: Result-cache hit counter (journal cell events report per-cell
         #: hit flags the same way the trace cache already does).
         self.result_cache_hits = 0
+        #: Content-addressed cell-result store: landed sweep results
+        #: persist here, making a killed sweep resumable (see
+        #: :mod:`repro.sched.store`).  None unless the config names a
+        #: directory.
+        self.result_store: Optional[ResultStore] = \
+            ResultStore(config.result_store_dir) \
+            if config.result_store_dir else None
+        #: Scheduling facts of the most recent ``run_cells`` sweep
+        #: (executor, mode, resumed/scheduled cell counts, steals).
+        self.last_sweep: Optional[dict] = None
+        self._last_scheduler: Optional[SweepScheduler] = None
 
     # -- config management -------------------------------------------------
 
@@ -105,6 +124,9 @@ class Session:
                 cache.evictions += 1
         if config.trace_cache_dir != old.trace_cache_dir:
             cache.disk_dir = config.trace_cache_dir
+        if config.result_store_dir != old.result_store_dir:
+            self.result_store = ResultStore(config.result_store_dir) \
+                if config.result_store_dir else None
 
     # -- result cache ------------------------------------------------------
 
@@ -337,7 +359,8 @@ class Session:
                   journal: Optional[str] = None,
                   progress: Optional[Callable[[dict], None]] = None,
                   start_method: Optional[str] = None,
-                  order_from: Optional[str] = None) -> List[dict]:
+                  order_from: Optional[str] = None,
+                  executor: Optional[str] = None) -> List[dict]:
         """Run many ``(benchmark, variant)`` cells, optionally in parallel.
 
         Returns one dict per cell — ``{"benchmark", "variant", "payload",
@@ -367,7 +390,19 @@ class Session:
         for go first), which trims the parallel tail when cell costs
         are skewed — returned rows stay in input order regardless.  An
         unreadable or non-journal file silently falls back to plan
-        order.
+        order; a journal whose recorded plan names *different cells*
+        raises a :class:`~repro.sched.SweepPlanMismatchWarning` (and
+        journals a ``plan_mismatch`` event) listing the unmatched cells.
+
+        Execution is compiled through :class:`~repro.sched.SweepScheduler`:
+        a record → replay dependency DAG dispatched over the executor
+        backend named by ``executor`` (argument > config ``executor``
+        knob; ``auto`` keeps the classic inline/pool split).  When the
+        session has a :attr:`result_store` and ``cache=True``, every
+        landed cell is written through to the store and cells that
+        already landed there — e.g. from a sweep killed partway — are
+        resumed without re-execution (their journal rows carry
+        ``result_store_hit``).
 
         When ``outputs="mpki"``, groups of two or more predictor-only
         cells sharing a benchmark collapse into one batched
@@ -382,6 +417,8 @@ class Session:
         instructions = instructions or self.config.instructions
         warmup = warmup if warmup is not None else self.config.warmup
         jobs = max(1, jobs) if jobs is not None else self.config.jobs
+        executor = executor if executor is not None \
+            else self.config.executor
         task_config = self.config.replace(
             instructions=instructions, warmup=warmup)
         if start_method is None:
@@ -408,8 +445,13 @@ class Session:
             "profile_dir": recorder.profile_dir if recorder else None,
         }
         plan = list(enumerate(cells))
+        mismatch = None
         if order_from is not None:
-            plan = _order_longest_first(plan, order_from)
+            plan, mismatch = order_plan(plan, order_from)
+            if mismatch is not None:
+                _warnings.warn(
+                    SweepPlanMismatchWarning(describe_mismatch(mismatch)),
+                    stacklevel=2)
         batching = (outputs == "mpki" and len(cells) > 1
                     and profile_mode is None and batch_replay_enabled())
         groups: Dict[str, List[Tuple[str, int]]] = {}
@@ -436,49 +478,24 @@ class Session:
                 tasks.append((task_config, benchmark, tuple(members),
                               instructions, warmup, cache, outputs,
                               {**meta, "index": members[0][1]}))
-        rows: List[dict] = []
+        scheduler = SweepScheduler(
+            tasks, task_config, _run_unit,
+            inline_fn=lambda unit: [_run_task_in(self, task)
+                                    for task in unit],
+            jobs=jobs, chunksize=chunksize, executor=executor,
+            start_method=start_method, recorder=recorder,
+            store=self.result_store if cache else None,
+            outputs=outputs, mismatch=mismatch)
         try:
-            if recorder is not None:
-                recorder.start()
-            if jobs <= 1 or len(tasks) <= 1:
-                for task in tasks:
-                    for row in _run_task_in(self, task):
-                        if recorder is not None:
-                            recorder.record_row(row)
-                        rows.append(row)
-            else:
-                import multiprocessing
-
-                if start_method is not None:
-                    context = multiprocessing.get_context(start_method)
-                else:
-                    try:
-                        context = multiprocessing.get_context("fork")
-                    except ValueError:  # platform without fork
-                        context = multiprocessing.get_context("spawn")
-                # publish this session so fork workers find it warm (and
-                # spawn workers rebuild an equivalent one from the
-                # pickled task config); unpublished in the finally so
-                # repeated sweeps cannot pin dead sessions for the
-                # process lifetime
-                _worker_sessions[task_config] = self
-                jobs = min(jobs, len(tasks))
-                if chunksize is None:
-                    chunksize = max(1, (len(tasks) + jobs - 1) // jobs)
-                try:
-                    with context.Pool(processes=jobs) as pool:
-                        # ordered imap: rows arrive in task order (the
-                        # deterministic merge map preserved), but stream
-                        # back as chunks complete instead of at a
-                        # whole-sweep barrier
-                        for row_group in pool.imap(_run_task, tasks,
-                                                   chunksize=chunksize):
-                            for row in row_group:
-                                if recorder is not None:
-                                    recorder.record_row(row)
-                                rows.append(row)
-                finally:
-                    _worker_sessions.pop(task_config, None)
+            # publish this session so fork workers find it warm (and
+            # spawn workers rebuild an equivalent one from the pickled
+            # task config); unpublished in the finally so repeated
+            # sweeps cannot pin dead sessions for the process lifetime
+            _worker_sessions[task_config] = self
+            try:
+                rows = scheduler.run()
+            finally:
+                _worker_sessions.pop(task_config, None)
         except BaseException:
             if recorder is not None:
                 # leave the journal truncated (no sweep_finished): a
@@ -489,11 +506,15 @@ class Session:
         else:
             if recorder is not None:
                 recorder.finish()
+        self.last_sweep = scheduler.stats()
+        self._last_scheduler = scheduler
         # reordering (order_from) and batch grouping both run cells out
         # of plan sequence; the return contract is input order
         rows.sort(key=lambda row: row["index"])
         if merge:
-            self.registry.merge(merged_registry(rows))
+            merged = merged_registry(rows)
+            scheduler.register_into(merged)
+            self.registry.merge(merged)
         return rows
 
     def run_matrix(self, variants: Optional[Iterable[str]] = None,
@@ -506,7 +527,8 @@ class Session:
                    merged: bool = False,
                    journal: Optional[str] = None,
                    progress: Optional[Callable[[dict], None]] = None,
-                   order_from: Optional[str] = None):
+                   order_from: Optional[str] = None,
+                   executor: Optional[str] = None):
         """Run a variant × benchmark matrix; returns nested payload dicts.
 
         ``result[benchmark][variant]`` is the cell's
@@ -529,7 +551,8 @@ class Session:
                               warmup=warmup, jobs=jobs, cache=cache,
                               chunksize=max(1, len(variant_list)),
                               outputs=outputs, journal=journal,
-                              progress=progress, order_from=order_from)
+                              progress=progress, order_from=order_from,
+                              executor=executor)
         matrix: Dict[str, Dict[str, dict]] = {name: {}
                                               for name in benchmark_list}
         for row in rows:
@@ -537,7 +560,10 @@ class Session:
                 else {"error": row["error"]}
             matrix[row["benchmark"]][row["variant"]] = entry
         if merged:
-            return matrix, merged_registry(rows)
+            registry = merged_registry(rows)
+            if self._last_scheduler is not None:
+                self._last_scheduler.register_into(registry)
+            return matrix, registry
         return matrix
 
     def __repr__(self) -> str:
@@ -804,34 +830,16 @@ def _run_task(task: Tuple) -> List[dict]:
     return _run_task_in(_session_for_config(task[0]), task)
 
 
-def _order_longest_first(plan: List[Tuple[int, Tuple[str, str]]],
-                         journal_path: str
-                         ) -> List[Tuple[int, Tuple[str, str]]]:
-    """Reorder an indexed cell plan by a prior journal's wall seconds.
+def _run_unit(unit: List[Tuple]) -> List[List[dict]]:
+    """Worker entry for a scheduler dispatch unit (a list of tasks).
 
-    Longest first; cells the journal never timed sort ahead of timed
-    ones (an unknown cell may be arbitrarily expensive, so schedule it
-    before the known-long tail).  Ties and unknowns keep plan order (the
-    sort is stable).  Any read or parse failure returns the plan as-is:
-    ordering is a scheduling hint, never a correctness input.
+    Returns one row list per task so the scheduler can map results back
+    to DAG nodes.  All tasks of a unit share one resolved session —
+    units are built benchmark-aligned exactly so this keeps trace-cache
+    locality inside a worker dispatch.
     """
-    from repro.observe.journal import read_journal
-    try:
-        journal = read_journal(journal_path)
-    except (OSError, ValueError):
-        return plan
-    walls: Dict[Tuple[str, str], float] = {}
-    for event in journal["events"]:
-        if event.get("event") not in ("cell_finished", "cell_failed"):
-            continue
-        wall = event.get("wall_seconds")
-        if wall is not None and event.get("benchmark") is not None:
-            walls[(event["benchmark"], event["variant"])] = wall
-    if not walls:
-        return plan
-    infinity = float("inf")
-    return sorted(plan,
-                  key=lambda item: -walls.get(item[1], infinity))
+    session = _session_for_config(unit[0][0])
+    return [_run_task_in(session, task) for task in unit]
 
 
 def merged_registry(rows: Iterable[dict]) -> StatRegistry:

@@ -266,7 +266,8 @@ def run_bench(benchmarks: Optional[List[str]] = None,
               jobs: Optional[int] = None,
               quick: bool = False,
               journal: Optional[str] = None,
-              progress=None) -> dict:
+              progress=None,
+              executor: Optional[str] = None) -> dict:
     """Run the five-pass bench and return the ``repro-bench-v5`` report.
 
     ``quick`` selects the CI smoke matrix; explicit arguments override it.
@@ -321,7 +322,8 @@ def run_bench(benchmarks: Optional[List[str]] = None,
                                        cache=False,
                                        chunksize=max(1, len(variants)),
                                        journal=journal,
-                                       progress=progress)
+                                       progress=progress,
+                                       executor=executor)
     optimized_wall = time.perf_counter() - start
     optimized_payloads = [row["payload"] for row in rows]
     trace_hits = sum(1 for row in rows if row["trace_cache_hit"])
@@ -403,6 +405,7 @@ def run_bench(benchmarks: Optional[List[str]] = None,
             "trace_cache_misses": len(cells) - trace_hits,
             "trace_cache_hit_rate": round(trace_hits / len(cells), 4)
             if cells else None,
+            "scheduler": optimized_session.last_sweep,
         },
         "mpki_replay": mpki_report,
         "batch_replay": batch_report,

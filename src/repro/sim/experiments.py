@@ -99,13 +99,14 @@ def run_cells(cells: Sequence[Tuple[str, str]],
               journal: Optional[str] = None,
               progress=None,
               start_method: Optional[str] = None,
-              order_from: Optional[str] = None) -> List[dict]:
+              order_from: Optional[str] = None,
+              executor: Optional[str] = None) -> List[dict]:
     """Run cells in the default session (see :meth:`Session.run_cells`)."""
     return default_session().run_cells(
         cells, instructions=instructions, warmup=warmup, jobs=jobs,
         cache=cache, chunksize=chunksize, outputs=outputs,
         journal=journal, progress=progress, start_method=start_method,
-        order_from=order_from)
+        order_from=order_from, executor=executor)
 
 
 def run_matrix(variants: Optional[Iterable[str]] = None,
@@ -116,12 +117,13 @@ def run_matrix(variants: Optional[Iterable[str]] = None,
                cache: bool = True,
                outputs: str = "full",
                merged: bool = False,
-               order_from: Optional[str] = None):
+               order_from: Optional[str] = None,
+               executor: Optional[str] = None):
     """Run a matrix in the default session (see :meth:`Session.run_matrix`)."""
     return default_session().run_matrix(
         variants=variants, benchmarks=benchmarks, instructions=instructions,
         warmup=warmup, jobs=jobs, cache=cache, outputs=outputs,
-        merged=merged, order_from=order_from)
+        merged=merged, order_from=order_from, executor=executor)
 
 
 def simulate(benchmark, **kwargs) -> SimulationResult:

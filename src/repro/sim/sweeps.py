@@ -66,7 +66,8 @@ def sweep_parameter(parameter: str, benchmarks: Sequence[str],
             journal,
             config=session.config.replace(
                 instructions=SWEEP_INSTRUCTIONS, warmup=SWEEP_WARMUP),
-            cells=plan, jobs=1, outputs="full", progress=progress)
+            cells=plan, jobs=1, outputs="full", executor="inline",
+            progress=progress)
         recorder.start()
     from repro.observe.journal import run_recorded
     index = 0

@@ -74,6 +74,45 @@ _MAGIC = b"RPTC"
 _HEADER_LEN = len(_MAGIC) + 2 + 32  # magic + u16 version + payload sha256
 
 
+def write_framed(path: str, payload: bytes, magic: bytes,
+                 version: int) -> None:
+    """Atomically write one framed blob: magic + u16 version + sha256 + body.
+
+    The frame is the shared on-disk contract between the trace cache and
+    the sweep :class:`~repro.sched.store.ResultStore` — a reader can
+    always tell truncation, version skew, and bit rot apart from a valid
+    entry before touching the pickle inside.  Writes go through a
+    same-directory temp file and ``os.replace`` so concurrent writers of
+    the same key can never expose a half-written file.
+    """
+    header = (magic + version.to_bytes(2, "little")
+              + hashlib.sha256(payload).digest())
+    temp_path = f"{path}.tmp.{os.getpid()}"
+    with open(temp_path, "wb") as handle:
+        handle.write(header)
+        handle.write(payload)
+    os.replace(temp_path, path)  # atomic: readers never see partials
+
+
+def read_framed(blob: bytes, magic: bytes, version: int) -> bytes:
+    """Validate a framed blob and return its payload bytes.
+
+    Raises ``ValueError`` on a bad magic, a truncated header, a version
+    mismatch, or a payload whose sha256 does not match the header —
+    callers turn any of those into a counted clean miss.
+    """
+    header_len = len(magic) + 2 + 32
+    if len(blob) < header_len or not blob.startswith(magic):
+        raise ValueError("bad magic or truncated header")
+    found = int.from_bytes(blob[len(magic):len(magic) + 2], "little")
+    if found != version:
+        raise ValueError(f"format version {found}")
+    payload = blob[header_len:]
+    if hashlib.sha256(payload).digest() != blob[len(magic) + 2:header_len]:
+        raise ValueError("payload digest mismatch")
+    return payload
+
+
 def program_fingerprint(program: Program) -> str:
     """Content sha256 of a program, memoized on the Program object.
 
@@ -405,14 +444,8 @@ class TraceCache:
                 "final_seq": entry.final_seq,
                 "halted": entry.halted,
             }, protocol=pickle.HIGHEST_PROTOCOL)
-            header = (_MAGIC + FORMAT_VERSION.to_bytes(2, "little")
-                      + hashlib.sha256(payload).digest())
             os.makedirs(self.disk_dir, exist_ok=True)
-            temp_path = f"{path}.tmp.{os.getpid()}"
-            with open(temp_path, "wb") as handle:
-                handle.write(header)
-                handle.write(payload)
-            os.replace(temp_path, path)  # atomic: readers never see partials
+            write_framed(path, payload, _MAGIC, FORMAT_VERSION)
             self.spills += 1
         except OSError:
             self.spill_errors += 1
@@ -470,15 +503,7 @@ class TraceCache:
         except OSError:
             return None
         try:
-            if len(blob) < _HEADER_LEN or not blob.startswith(_MAGIC):
-                raise ValueError("bad magic or truncated header")
-            version = int.from_bytes(blob[4:6], "little")
-            if version != FORMAT_VERSION:
-                raise ValueError(f"format version {version}")
-            payload = blob[_HEADER_LEN:]
-            if hashlib.sha256(payload).digest() != blob[6:_HEADER_LEN]:
-                raise ValueError("payload digest mismatch")
-            data = pickle.loads(payload)
+            data = pickle.loads(read_framed(blob, _MAGIC, FORMAT_VERSION))
             if (data["fingerprint"] != program_fingerprint(program)
                     or data["start"] != start or data["total"] != total):
                 raise ValueError("key mismatch")
